@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite (imported by the bench modules)."""
+
+from __future__ import annotations
+
+from repro.config import CodecConfig, TasmConfig
+
+#: Frame rate of the benchmark videos; GOPs are one second long.
+BENCH_FRAME_RATE = 10
+
+
+def bench_config(**overrides) -> TasmConfig:
+    """The TASM configuration used across the benchmark suite."""
+    codec = CodecConfig(gop_frames=BENCH_FRAME_RATE, frame_rate=BENCH_FRAME_RATE)
+    return TasmConfig(codec=codec, **overrides)
+
+
+def print_section(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,100 @@
+"""Ablation — the alpha (not-tiling) and eta (regret) thresholds.
+
+The paper fixes alpha = 0.8 (Section 3.4.4 / Figure 10) and eta = 1
+(Section 4.4, mirroring online indexing) and argues qualitatively:
+
+* alpha too large admits layouts that barely help or even hurt; alpha too
+  small rejects layouts that would have sped queries up substantially.
+* eta = 0 re-tiles after every query and wastes encoding work when the query
+  object keeps changing; very large eta re-tiles so late that few queries
+  benefit.
+
+This ablation sweeps both knobs on a Workload-3-style query mix (mixed
+objects, Zipfian starts) and reports the total normalised cost, so the chosen
+defaults can be compared against their neighbours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.policies import IncrementalRegretPolicy
+from repro.datasets import visual_road_scene
+from repro.workloads import WorkloadRunner, workload_3
+
+from _bench_utils import bench_config, print_section
+
+_ALPHAS = [0.4, 0.6, 0.8, 1.0]
+_ETAS = [0.0, 0.5, 1.0, 2.0, 4.0]
+
+
+def _spec():
+    video = visual_road_scene("ablation-visual-road", duration_seconds=20.0, frame_rate=10, seed=951)
+    return workload_3(video, query_count=80, seed=953)
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    spec = _spec()
+    alpha_rows = []
+    for alpha in _ALPHAS:
+        runner = WorkloadRunner(config=bench_config(alpha=alpha), mode="modelled")
+        results = runner.run_comparison(
+            spec.video, spec.workload, strategies=[IncrementalRegretPolicy()], workload_id="ablation-alpha"
+        )
+        alpha_rows.append(
+            {
+                "alpha": alpha,
+                "eta": 1.0,
+                "total_normalized": round(results["incremental-regret"].total_normalized(), 1),
+                "retiles": sum(1 for c in results["incremental-regret"].retile_costs if c > 0),
+            }
+        )
+    eta_rows = []
+    for eta in _ETAS:
+        runner = WorkloadRunner(config=bench_config(eta=eta), mode="modelled")
+        results = runner.run_comparison(
+            spec.video, spec.workload, strategies=[IncrementalRegretPolicy()], workload_id="ablation-eta"
+        )
+        eta_rows.append(
+            {
+                "alpha": 0.8,
+                "eta": eta,
+                "total_normalized": round(results["incremental-regret"].total_normalized(), 1),
+                "retiles": sum(1 for c in results["incremental-regret"].retile_costs if c > 0),
+            }
+        )
+    return spec, alpha_rows, eta_rows
+
+
+def test_ablation_alpha_and_eta(benchmark, ablation_results):
+    spec, alpha_rows, eta_rows = ablation_results
+    runner = WorkloadRunner(config=bench_config(), mode="modelled")
+    benchmark.pedantic(
+        lambda: runner.run(spec.video, spec.workload, IncrementalRegretPolicy(), workload_id="ablation"),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_section("Ablation: not-tiling threshold alpha (eta fixed at 1)")
+    print(format_table(alpha_rows))
+    print_section("Ablation: regret threshold eta (alpha fixed at 0.8)")
+    print(format_table(eta_rows))
+    print(f"\n(not tiled = {len(spec.workload)}; lower is better; paper defaults alpha=0.8, eta=1)")
+
+    not_tiled = float(len(spec.workload))
+    alpha_by_value = {row["alpha"]: row for row in alpha_rows}
+    eta_by_value = {row["eta"]: row for row in eta_rows}
+
+    # The paper's default alpha keeps the strategy ahead of not tiling.
+    assert alpha_by_value[0.8]["total_normalized"] < not_tiled
+    # An over-strict alpha is never better than the default: it forfeits the
+    # best layouts (and can churn through second-best ones instead).
+    assert alpha_by_value[0.8]["total_normalized"] <= alpha_by_value[0.4]["total_normalized"] + 1e-6
+    # The default eta also beats not tiling.
+    assert eta_by_value[1.0]["total_normalized"] < not_tiled
+    # eta = 0 re-tiles at least as often as the default (risking wasted work),
+    # while a very large eta re-tiles less.
+    assert eta_by_value[0.0]["retiles"] >= eta_by_value[1.0]["retiles"]
+    assert eta_by_value[4.0]["retiles"] <= eta_by_value[1.0]["retiles"]

@@ -1,0 +1,91 @@
+"""Section 4.1 — validating the decode cost model C = beta*P + gamma*T.
+
+The paper fits a linear model to the measured decode times of over 1,400
+(video, query object, layout) combinations and reports R^2 = 0.996.  This
+benchmark collects measured decode times from the simulated codec across many
+layouts and query objects, fits the same linear model, and checks that pixels
+and tiles decoded explain nearly all of the variance here too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    apply_object_layout,
+    apply_uniform_layout,
+    format_table,
+    measure_query,
+    prepare_tasm,
+)
+from repro.core.cost import fit_cost_model
+from repro.datasets import netflix_public_scene, visual_road_scene, xiph_scene
+from repro.tiles.partitioner import TileGranularity
+
+from _bench_utils import print_section
+
+
+def _cases():
+    return [
+        (visual_road_scene("fit-visual-road", duration_seconds=6.0, frame_rate=10, seed=901), ["car", "person"]),
+        (xiph_scene("fit-crossing", style="crossing", duration_seconds=6.0, seed=903), ["car", "person"]),
+        (netflix_public_scene("fit-birds", primary_object="bird", duration_seconds=6.0, seed=907), ["bird"]),
+    ]
+
+
+@pytest.fixture(scope="module")
+def decode_samples(config):
+    samples = []
+    details = []
+    for video, labels in _cases():
+        layout_builders = [
+            ("untiled", lambda tasm, name: None),
+            ("uniform 2x2", lambda tasm, name: apply_uniform_layout(tasm, name, 2, 2)),
+            ("uniform 4x4", lambda tasm, name: apply_uniform_layout(tasm, name, 4, 4)),
+            ("uniform 5x5", lambda tasm, name: apply_uniform_layout(tasm, name, 5, 5)),
+            (
+                "non-uniform fine",
+                lambda tasm, name: apply_object_layout(tasm, name, labels, TileGranularity.FINE),
+            ),
+            (
+                "non-uniform coarse",
+                lambda tasm, name: apply_object_layout(tasm, name, labels, TileGranularity.COARSE),
+            ),
+        ]
+        for description, builder in layout_builders:
+            tasm = prepare_tasm(video, config)
+            builder(tasm, video.name)
+            for label in labels:
+                measurement = measure_query(tasm, video.name, label, description, repeats=3)
+                samples.append(
+                    (measurement.pixels_decoded, measurement.tiles_decoded, measurement.decode_seconds)
+                )
+                details.append(
+                    {
+                        "video": video.name,
+                        "object": label,
+                        "layout": description,
+                        "pixels": measurement.pixels_decoded,
+                        "tiles": measurement.tiles_decoded,
+                        "seconds": round(measurement.decode_seconds, 4),
+                    }
+                )
+    return samples, details
+
+
+def test_cost_model_linear_fit(benchmark, decode_samples):
+    samples, details = decode_samples
+    fitted = benchmark.pedantic(lambda: fit_cost_model(samples), rounds=3, iterations=1)
+
+    print_section("Section 4.1: decode time vs (pixels, tiles) linear fit")
+    print(format_table(details))
+    print(
+        f"\nfit over {len(samples)} measurements: "
+        f"beta={fitted.beta:.3e} s/pixel, gamma={fitted.gamma:.3e} s/tile, "
+        f"intercept={fitted.intercept:.3e} s, R^2={fitted.r_squared:.4f} "
+        f"(paper: R^2 = 0.996 over 1,400 measurements)"
+    )
+
+    assert len(samples) >= 30
+    assert fitted.beta > 0, "decode time must grow with pixels decoded"
+    assert fitted.r_squared > 0.90, "pixels and tiles should explain nearly all decode-time variance"

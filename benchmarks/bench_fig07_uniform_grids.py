@@ -1,0 +1,96 @@
+"""Figure 7 — query-time improvement as the number of uniform tiles grows.
+
+The paper sweeps uniform grids and finds improvement first rises (2x2 ~19% to
+5x5 ~36%) and then falls again as per-tile overhead dominates (7x10 ~28%),
+with the spread across videos widening.  Expected shape here: improvement for
+a mid-size grid exceeds the 2x2 grid, and the largest grid is no better than
+the best mid-size grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    apply_uniform_layout,
+    format_table,
+    improvement_over_untiled,
+    measure_query,
+    modelled_improvement,
+    prepare_tasm,
+    summarize_improvements,
+)
+from repro.datasets import visual_road_scene, xiph_scene
+
+from _bench_utils import print_section
+
+_GRIDS = [(2, 2), (3, 3), (4, 4), (5, 5), (6, 8)]
+
+
+def _videos():
+    return [
+        (visual_road_scene("fig7-visual-road", duration_seconds=8.0, frame_rate=10, seed=151), "car"),
+        (xiph_scene("fig7-xiph-crossing", style="crossing", duration_seconds=8.0, seed=331), "person"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def figure7_rows(config):
+    rows = []
+    for video, label in _videos():
+        untiled_tasm = prepare_tasm(video, config)
+        untiled = measure_query(untiled_tasm, video.name, label, "untiled")
+        for grid_rows, grid_columns in _GRIDS:
+            tasm = prepare_tasm(video, config)
+            apply_uniform_layout(tasm, video.name, grid_rows, grid_columns)
+            measurement = measure_query(tasm, video.name, label, f"{grid_rows}x{grid_columns}")
+            rows.append(
+                {
+                    "video": video.name,
+                    "object": label,
+                    "grid": f"{grid_rows}x{grid_columns}",
+                    "tiles": grid_rows * grid_columns,
+                    "improvement_%": improvement_over_untiled(untiled, measurement),
+                    "work_improvement_%": modelled_improvement(untiled, measurement, config),
+                    "pixels_decoded": measurement.pixels_decoded,
+                    "tiles_decoded": measurement.tiles_decoded,
+                }
+            )
+    return rows
+
+
+def test_fig07_uniform_tile_count_sweep(benchmark, figure7_rows, config):
+    video, label = _videos()[0]
+    tasm = prepare_tasm(video, config)
+    apply_uniform_layout(tasm, video.name, 4, 4)
+    tasm.video(video.name).materialise_all()
+    benchmark(lambda: tasm.scan(video.name, label))
+
+    print_section("Figure 7: improvement in query time vs number of uniform tiles")
+    print(format_table(figure7_rows, columns=[
+        "video", "object", "grid", "tiles", "improvement_%", "pixels_decoded", "tiles_decoded",
+    ]))
+
+    by_grid = {}
+    for row in figure7_rows:
+        by_grid.setdefault(row["grid"], []).append(row["work_improvement_%"])
+    summary = [
+        {"grid": grid, **summarize_improvements(values)} for grid, values in by_grid.items()
+    ]
+    print()
+    print(format_table(summary, columns=["grid", "median", "q25", "q75", "iqr"]))
+
+    # Shape: a mid-size grid beats 2x2; the largest grid does not beat the
+    # best mid-size grid (per-tile overhead kicks in); decoded pixels shrink
+    # as the grid gets finer.
+    medians = {row["grid"]: row["median"] for row in summary}
+    best_mid = max(medians["3x3"], medians["4x4"], medians["5x5"])
+    assert best_mid > medians["2x2"]
+    assert medians["6x8"] <= best_mid + 1.0
+    for video_name in {row["video"] for row in figure7_rows}:
+        ordered = [row for row in figure7_rows if row["video"] == video_name]
+        ordered.sort(key=lambda row: row["tiles"])
+        pixel_counts = [row["pixels_decoded"] for row in ordered]
+        assert pixel_counts == sorted(pixel_counts, reverse=True)
+        # The coarsest grid always opens fewer tile bitstreams than the finest.
+        assert ordered[0]["tiles_decoded"] < ordered[-1]["tiles_decoded"]

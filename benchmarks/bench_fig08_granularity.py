@@ -1,0 +1,113 @@
+"""Figure 8 — tile granularity vs which objects the layout targets.
+
+The paper classifies non-uniform layouts by the relationship between the
+layout's object set and the query object — *same*, *different*, *all
+detected objects*, *superset* — at two granularities (fine / coarse), on both
+sparse and dense videos.  Headline shapes:
+
+* layouts around the query object help the most, and granularity barely
+  matters there (Fig. 8(a));
+* layouts around a *different* object help far less, and fine-grained tiles
+  degrade more gracefully than coarse ones (Fig. 8(b));
+* tiling around all objects works well on sparse videos but poorly on dense
+  ones (Fig. 8(c)), and supersets behave like "all" (Fig. 8(d)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    apply_object_layout,
+    format_table,
+    improvement_over_untiled,
+    measure_query,
+    modelled_improvement,
+    prepare_tasm,
+)
+from repro.datasets import el_fuente_scene, visual_road_scene
+from repro.tiles.partitioner import TileGranularity
+
+from _bench_utils import print_section
+
+
+def _videos():
+    sparse = visual_road_scene("fig8-sparse", duration_seconds=8.0, frame_rate=10, seed=171)
+    dense = el_fuente_scene("plaza", duration_seconds=8.0, seed=523)
+    return [("sparse", sparse, "car", "person"), ("dense", dense, "car", "person")]
+
+
+def _layout_objects(category, query_object, other_object, all_labels):
+    if category == "same":
+        return [query_object]
+    if category == "different":
+        return [other_object]
+    if category == "all":
+        return sorted(all_labels)
+    # superset: the query object plus one or two frequently occurring others.
+    return sorted({query_object, other_object})
+
+
+@pytest.fixture(scope="module")
+def figure8_rows(config):
+    rows = []
+    for density, video, query_object, other_object in _videos():
+        untiled_tasm = prepare_tasm(video, config)
+        untiled = measure_query(untiled_tasm, video.name, query_object, "untiled")
+        for category in ("same", "different", "all", "superset"):
+            objects = _layout_objects(category, query_object, other_object, video.labels())
+            for granularity in (TileGranularity.FINE, TileGranularity.COARSE):
+                tasm = prepare_tasm(video, config)
+                apply_object_layout(tasm, video.name, objects, granularity)
+                measurement = measure_query(
+                    tasm, video.name, query_object, f"{category}/{granularity.value}"
+                )
+                rows.append(
+                    {
+                        "density": density,
+                        "video": video.name,
+                        "query_object": query_object,
+                        "layout_objects": category,
+                        "granularity": granularity.value,
+                        "improvement_%": improvement_over_untiled(untiled, measurement),
+                        "work_improvement_%": modelled_improvement(untiled, measurement, config),
+                    }
+                )
+    return rows
+
+
+def test_fig08_granularity_and_layout_objects(benchmark, figure8_rows, config):
+    density, video, query_object, _ = _videos()[0]
+    tasm = prepare_tasm(video, config)
+    apply_object_layout(tasm, video.name, [query_object], TileGranularity.FINE)
+    tasm.video(video.name).materialise_all()
+    benchmark(lambda: tasm.scan(video.name, query_object))
+
+    print_section("Figure 8: improvement by layout-object category and granularity")
+    print(format_table(figure8_rows, columns=[
+        "density", "video", "query_object", "layout_objects", "granularity",
+        "improvement_%", "work_improvement_%",
+    ]))
+
+    def cell(density, category, granularity):
+        return [
+            row["work_improvement_%"]
+            for row in figure8_rows
+            if row["density"] == density
+            and row["layout_objects"] == category
+            and row["granularity"] == granularity
+        ][0]
+
+    # (a) Layouts around the query object give the largest improvements on
+    #     sparse video, at either granularity.
+    assert cell("sparse", "same", "fine") > 40.0
+    assert cell("sparse", "same", "coarse") > 30.0
+    # (b) Layouts around a different object help less than around the query
+    #     object.
+    assert cell("sparse", "different", "fine") < cell("sparse", "same", "fine")
+    # (c) Tiling around all objects works on sparse videos...
+    assert cell("sparse", "all", "fine") > 25.0
+    # ...but is much less effective on dense videos.
+    assert cell("dense", "all", "fine") < cell("sparse", "all", "fine")
+    # (d) The superset strategy behaves like "all objects" (within a margin).
+    assert abs(cell("sparse", "superset", "fine") - cell("sparse", "all", "fine")) < 25.0

@@ -1,0 +1,98 @@
+"""Figure 10 — the not-tiling decision rule (pixel-ratio threshold alpha).
+
+The paper plots, for every (video, query object, non-uniform layout)
+combination, the ratio of pixels decoded under the layout to pixels decoded
+untiled against the measured improvement, and shows that refusing to tile
+when the ratio exceeds alpha = 0.8 captures essentially every layout that
+would have slowed queries down while keeping the ones that help a lot.
+
+This benchmark regenerates the scatter from measured decodes over the
+benchmark videos and checks the same classification property.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    apply_object_layout,
+    format_table,
+    improvement_over_untiled,
+    measure_query,
+    modelled_improvement,
+    prepare_tasm,
+)
+from repro.datasets import el_fuente_scene, netflix_public_scene, visual_road_scene, xiph_scene
+from repro.tiles.partitioner import TileGranularity
+
+from _bench_utils import print_section
+
+ALPHA = 0.8
+
+
+def _cases():
+    return [
+        (visual_road_scene("fig10-visual-road", duration_seconds=6.0, frame_rate=10, seed=231), "car"),
+        (visual_road_scene("fig10-visual-road", duration_seconds=6.0, frame_rate=10, seed=231), "person"),
+        (xiph_scene("fig10-crossing", style="crossing", duration_seconds=6.0, seed=341), "car"),
+        (xiph_scene("fig10-street", style="street", duration_seconds=6.0, seed=343), "person"),
+        (netflix_public_scene("fig10-people", primary_object="person", dense=True,
+                              duration_seconds=6.0, seed=229), "person"),
+        (el_fuente_scene("market", duration_seconds=6.0, seed=541), "person"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def figure10_points(config):
+    points = []
+    for video, query_object in _cases():
+        untiled_tasm = prepare_tasm(video, config)
+        untiled = measure_query(untiled_tasm, video.name, query_object, "untiled")
+        for granularity in (TileGranularity.FINE, TileGranularity.COARSE):
+            for layout_objects in ({query_object}, set(video.labels())):
+                tasm = prepare_tasm(video, config)
+                apply_object_layout(tasm, video.name, sorted(layout_objects), granularity)
+                measurement = measure_query(
+                    tasm, video.name, query_object, f"{granularity.value}:{sorted(layout_objects)}"
+                )
+                if untiled.pixels_decoded == 0:
+                    continue
+                points.append(
+                    {
+                        "video": video.name,
+                        "query_object": query_object,
+                        "layout": measurement.layout_description,
+                        "pixel_ratio": measurement.pixels_decoded / untiled.pixels_decoded,
+                        "improvement_%": improvement_over_untiled(untiled, measurement),
+                        "work_improvement_%": modelled_improvement(untiled, measurement, config),
+                    }
+                )
+    return points
+
+
+def test_fig10_not_tiling_threshold(benchmark, figure10_points, config):
+    video, query_object = _cases()[0]
+    tasm = prepare_tasm(video, config)
+    apply_object_layout(tasm, video.name, [query_object])
+    tasm.video(video.name).materialise_all()
+    benchmark(lambda: tasm.scan(video.name, query_object))
+
+    print_section("Figure 10: pixel ratio P(L)/P(omega) vs measured improvement")
+    print(format_table(figure10_points))
+
+    accepted = [p for p in figure10_points if p["pixel_ratio"] < ALPHA]
+    rejected = [p for p in figure10_points if p["pixel_ratio"] >= ALPHA]
+    harmful = [p for p in figure10_points if p["work_improvement_%"] < -1.0]
+    print(f"\nlayouts accepted by alpha={ALPHA}: {len(accepted)}, rejected: {len(rejected)}, "
+          f"clearly harmful overall: {len(harmful)}")
+
+    # The threshold captures the harmful layouts: anything that slows queries
+    # down by more than a measurement-noise margin must have been rejected.
+    for point in harmful:
+        assert point["pixel_ratio"] >= ALPHA, f"harmful layout accepted: {point}"
+    # Accepted layouts overwhelmingly help, and rejected ones never help much
+    # (the paper allows small <20% gains to slip through the rejection).
+    assert accepted, "at least some layouts must pass the threshold"
+    assert sum(1 for p in accepted if p["work_improvement_%"] > 0) >= 0.8 * len(accepted)
+    for point in rejected:
+        assert point["work_improvement_%"] < 45.0

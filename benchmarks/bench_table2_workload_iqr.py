@@ -1,0 +1,115 @@
+"""Table 2 — cumulative workload time, quartiles across videos.
+
+The paper's Table 2 reports the 25th/50th/75th percentile of total normalised
+workload time across the videos each workload runs on.  This benchmark runs
+each workload over several stand-in videos and reports the same quartiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table, quartiles
+from repro.datasets import (
+    el_fuente_scene,
+    netflix_open_source_scene,
+    netflix_public_scene,
+    visual_road_scene,
+    xiph_scene,
+)
+from repro.workloads import WorkloadRunner, workload_1, workload_3, workload_5
+
+from _bench_utils import bench_config, print_section
+
+#: Queries per workload (the paper uses 100-200); the normalisation makes totals comparable.
+_QUERIES = 100
+
+
+def _sparse_videos():
+    return [
+        visual_road_scene("t2-visual-road-a", duration_seconds=20.0, frame_rate=10, seed=611),
+        visual_road_scene("t2-visual-road-b", duration_seconds=20.0, frame_rate=10, seed=613),
+        visual_road_scene("t2-visual-road-c", resolution="4K", duration_seconds=20.0, frame_rate=10, seed=617),
+    ]
+
+
+def _dense_videos():
+    return [
+        el_fuente_scene("market", duration_seconds=14.0, seed=619),
+        netflix_open_source_scene("t2-dense-mixed", duration_seconds=14.0, seed=621),
+        netflix_public_scene("t2-dense-people", primary_object="person", dense=True,
+                             duration_seconds=10.0, seed=623),
+        xiph_scene("t2-street", style="street", duration_seconds=12.0, seed=627),
+    ]
+
+
+def _workload_matrix():
+    return [
+        ("W1", [workload_1(video, query_count=_QUERIES, seed=701 + i) for i, video in enumerate(_sparse_videos())]),
+        ("W3", [workload_3(video, query_count=_QUERIES, seed=711 + i) for i, video in enumerate(_sparse_videos())]),
+        ("W5", [workload_5(video, query_count=_QUERIES, seed=721 + i) for i, video in enumerate(_dense_videos())]),
+    ]
+
+
+@pytest.fixture(scope="module")
+def table2_results():
+    runner = WorkloadRunner(config=bench_config(), mode="modelled")
+    collected = {}
+    for workload_id, specs in _workload_matrix():
+        per_strategy: dict[str, list[float]] = {}
+        for spec in specs:
+            results = runner.run_comparison(spec.video, spec.workload, workload_id=workload_id)
+            for name, result in results.items():
+                per_strategy.setdefault(name, []).append(result.total_normalized())
+        collected[workload_id] = per_strategy
+    return collected
+
+
+def test_table2_workload_quartiles(benchmark, table2_results):
+    runner = WorkloadRunner(config=bench_config(), mode="modelled")
+    spec = workload_1(_sparse_videos()[0], query_count=30)
+    benchmark.pedantic(
+        lambda: runner.run_comparison(spec.video, spec.workload, workload_id="table2-bench"),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for workload_id, per_strategy in table2_results.items():
+        for strategy, totals in per_strategy.items():
+            q25, q50, q75 = quartiles(totals)
+            rows.append(
+                {
+                    "workload": workload_id,
+                    "strategy": strategy,
+                    "q25": round(q25, 1),
+                    "median": round(q50, 1),
+                    "q75": round(q75, 1),
+                    "videos": len(totals),
+                }
+            )
+
+    print_section("Table 2: total normalised workload time (quartiles across videos)")
+    print(format_table(rows))
+    print(f"\n(the not-tiled strategy always totals the query count, {_QUERIES})")
+
+    by_key = {(row["workload"], row["strategy"]): row for row in rows}
+    # Not-tiled is exactly the query count on every video (zero spread).
+    for workload_id in ("W1", "W3", "W5"):
+        row = by_key[(workload_id, "not-tiled")]
+        assert row["median"] == pytest.approx(_QUERIES)
+        assert row["q25"] == row["q75"] == row["median"]
+    # Sparse workloads: the regret strategy's median beats not tiling, and on
+    # W1 (a single query object) incremental-more does too.
+    for workload_id in ("W1", "W3"):
+        assert by_key[(workload_id, "incremental-regret")]["median"] < _QUERIES
+    assert by_key[("W1", "incremental-more")]["median"] < _QUERIES
+    # W3 (rarely queried class mixed in): regret beats incremental-more, which
+    # wastes re-encodes on layouts around the rare class.
+    assert (
+        by_key[("W3", "incremental-regret")]["median"]
+        < by_key[("W3", "incremental-more")]["median"]
+    )
+    # Dense workload: pre-tiling around all objects never helps; regret never loses.
+    assert by_key[("W5", "all-objects")]["median"] >= _QUERIES
+    assert by_key[("W5", "incremental-regret")]["median"] <= _QUERIES * 1.02

@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+(Section 5).  The videos are the synthetic stand-ins from ``repro.datasets``
+at benchmark scale (reduced resolution/duration); the codec runs with
+one-second GOPs at 10 fps, mirroring the paper's default GOP structure.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+reproduction tables each benchmark prints alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import bench_config
+from repro.config import TasmConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> TasmConfig:
+    return bench_config()

@@ -1,0 +1,48 @@
+"""Run scaled-down versions of the paper's six workloads (Figure 11 / Table 2).
+
+This prints the total normalised decode + re-tiling cost of each tiling
+strategy on each workload, using the analytic execution engine so it finishes
+in a few seconds.  The full benchmark (``benchmarks/bench_fig11_workloads.py``)
+runs the same harness at the paper's query counts and over more videos.
+"""
+
+from __future__ import annotations
+
+from repro import CodecConfig, TasmConfig
+from repro.analysis import format_table
+from repro.datasets import el_fuente_scene, visual_road_scene
+from repro.workloads import WorkloadRunner, all_workloads
+
+
+def main() -> None:
+    config = TasmConfig(codec=CodecConfig(gop_frames=10, frame_rate=10))
+    sparse = visual_road_scene(duration_seconds=24.0, frame_rate=10, seed=5)
+    dense = el_fuente_scene("plaza", duration_seconds=16.0, seed=11)
+    runner = WorkloadRunner(config=config, mode="modelled")
+
+    rows = []
+    # The full query counts (100-200 per workload) are needed for re-tiling
+    # costs to amortise, exactly as in the paper; this takes about a minute.
+    for spec in all_workloads(sparse, dense, query_count_scale=1.0):
+        results = runner.run_comparison(spec.video, spec.workload, workload_id=spec.workload_id)
+        row: dict[str, object] = {
+            "workload": spec.workload_id,
+            "video": spec.video.name,
+            "queries": spec.query_count,
+        }
+        for name, result in results.items():
+            row[name] = round(result.total_normalized(), 1)
+        rows.append(row)
+
+    print("Total normalised decode + re-tiling cost per strategy")
+    print("(the not-tiled strategy always equals the query count)\n")
+    print(format_table(rows))
+    print(
+        "\nExpected shape (Figure 11): tiling strategies beat 'not-tiled' on the sparse\n"
+        "Visual-Road workloads (W1-W4); on dense scenes (W5) only the regret-based\n"
+        "strategy avoids doing worse than not tiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable (``pip install -e .``) on environments
+whose setuptools/pip are too old for PEP 660 editable wheels (for example,
+offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,168 @@
+"""Configuration for the TASM storage manager.
+
+The paper's tuning knobs are collected in :class:`TasmConfig`:
+
+* ``alpha`` — the not-tiling threshold from Section 3.4.4 / 5.2.3: a layout is
+  only considered useful when the pixels it decodes for the workload are below
+  ``alpha`` times the pixels decoded by the untiled layout (the paper uses 0.8).
+* ``eta`` — the regret multiplier from Section 4.4: a SOT is re-tiled with an
+  alternative layout once its accumulated regret exceeds ``eta`` times the
+  estimated re-encoding cost (the paper uses 1.0, mirroring online indexing).
+* ``beta`` / ``gamma`` — coefficients of the decode cost model
+  ``C(s, q, L) = beta * P + gamma * T`` from Section 4.1.  Defaults come from
+  fitting the simulated codec (see ``repro.core.cost.fit_cost_model``); they
+  can be re-estimated for any deployment.
+* codec parameters — GOP length, quantisation step, block size, minimum tile
+  dimensions (HEVC imposes a minimum tile width/height; we default to 64 px
+  wide by 64 px tall after block snapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from .errors import ConfigurationError
+
+__all__ = ["CodecConfig", "CostCoefficients", "TasmConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class CodecConfig:
+    """Parameters of the simulated tile-capable codec.
+
+    Attributes:
+        gop_frames: number of frames in a group of pictures.  The paper treats
+            one-second GOPs (30 frames at 30 fps) as the default.
+        frame_rate: frames per second, used to convert durations to frames.
+        block_size: encoding block granularity; tile boundaries are snapped to
+            multiples of this value, mirroring HEVC coding-tree-unit alignment.
+        min_tile_width / min_tile_height: smallest tile the codec accepts.
+        keyframe_quant: quantisation step for intra (key) frames.
+        predicted_quant: quantisation step for predicted (P) frames.
+        boundary_quant_penalty: additional quantisation applied to blocks that
+            touch a tile boundary.  This reproduces the paper's observation
+            that tiling introduces boundary artifacts that reduce PSNR.
+        tile_overhead_bytes: per-tile container/header overhead added to the
+            stored size of every encoded tile.
+    """
+
+    gop_frames: int = 30
+    frame_rate: int = 30
+    block_size: int = 16
+    min_tile_width: int = 64
+    min_tile_height: int = 64
+    keyframe_quant: int = 4
+    predicted_quant: int = 6
+    boundary_quant_penalty: int = 6
+    tile_overhead_bytes: int = 96
+
+    def __post_init__(self) -> None:
+        if self.gop_frames <= 0:
+            raise ConfigurationError("gop_frames must be positive")
+        if self.frame_rate <= 0:
+            raise ConfigurationError("frame_rate must be positive")
+        if self.block_size <= 0:
+            raise ConfigurationError("block_size must be positive")
+        if self.min_tile_width < self.block_size or self.min_tile_height < self.block_size:
+            raise ConfigurationError(
+                "minimum tile dimensions must be at least one block"
+            )
+        if self.keyframe_quant < 1 or self.predicted_quant < 1:
+            raise ConfigurationError("quantisation steps must be >= 1")
+        if self.boundary_quant_penalty < 0:
+            raise ConfigurationError("boundary_quant_penalty must be non-negative")
+        if self.tile_overhead_bytes < 0:
+            raise ConfigurationError("tile_overhead_bytes must be non-negative")
+
+    @property
+    def gop_seconds(self) -> float:
+        return self.gop_frames / self.frame_rate
+
+
+@dataclass(frozen=True)
+class CostCoefficients:
+    """Coefficients of the paper's linear decode-cost model ``beta*P + gamma*T``.
+
+    ``beta`` is the cost per decoded pixel and ``gamma`` the fixed cost per
+    decoded tile.  The units are arbitrary (the evaluation normalises to the
+    untiled baseline); what matters is their ratio, which determines where the
+    "more tiles versus fewer pixels" trade-off crosses over.  The defaults are
+    calibrated against the simulated codec the same way the paper calibrates
+    against its prototype: fitting decode time to pixels and tiles decoded
+    (see ``benchmarks/bench_cost_model_fit.py``) gives a per-tile overhead
+    worth roughly forty thousand pixels, so gamma / beta = 4e4.
+    """
+
+    beta: float = 1.0e-6
+    gamma: float = 4.0e-2
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0 or self.gamma < 0:
+            raise ConfigurationError("beta must be > 0 and gamma >= 0")
+
+
+@dataclass(frozen=True)
+class TasmConfig:
+    """Top-level configuration of the TASM storage manager."""
+
+    codec: CodecConfig = field(default_factory=CodecConfig)
+    cost: CostCoefficients = field(default_factory=CostCoefficients)
+    #: Not-tiling threshold alpha from Section 3.4.4 (paper value 0.8).
+    alpha: float = 0.8
+    #: Regret threshold multiplier eta from Section 4.4 (paper value 1.0).
+    eta: float = 1.0
+    #: Default tile granularity for layouts TASM generates on its own.
+    fine_grained: bool = True
+    #: Number of frames covered by one sequence-of-tiles (layout duration).
+    #: Must be a multiple of the GOP length; defaults to one GOP.
+    sot_frames: int | None = None
+    #: Re-encoding cost per pixel, used by R(s, L) estimates.
+    encode_cost_per_pixel: float = 2.0e-6
+    #: Fixed re-encoding cost per tile.
+    encode_cost_per_tile: float = 2.0e-3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        if self.eta < 0.0:
+            raise ConfigurationError("eta must be non-negative")
+        if self.sot_frames is not None:
+            if self.sot_frames <= 0:
+                raise ConfigurationError("sot_frames must be positive")
+            if self.sot_frames % self.codec.gop_frames != 0:
+                raise ConfigurationError(
+                    "sot_frames must be a multiple of the GOP length: layout "
+                    "changes can only happen at GOP boundaries"
+                )
+        if self.encode_cost_per_pixel <= 0 or self.encode_cost_per_tile < 0:
+            raise ConfigurationError("encode cost coefficients must be positive")
+
+    @property
+    def layout_duration_frames(self) -> int:
+        """Frames per SOT; defaults to one GOP when not set explicitly."""
+        return self.sot_frames if self.sot_frames is not None else self.codec.gop_frames
+
+    def with_updates(self, **changes: Any) -> "TasmConfig":
+        """Return a copy with the given fields replaced (dataclasses.replace)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "TasmConfig":
+        """Build a config from a plain dict, e.g. parsed from JSON/TOML."""
+        codec_kwargs = dict(mapping.get("codec", {}))
+        cost_kwargs = dict(mapping.get("cost", {}))
+        top = {
+            key: value
+            for key, value in mapping.items()
+            if key not in ("codec", "cost")
+        }
+        return cls(
+            codec=CodecConfig(**codec_kwargs),
+            cost=CostCoefficients(**cost_kwargs),
+            **top,
+        )
+
+
+#: A shared default configuration used when callers do not supply one.
+DEFAULT_CONFIG = TasmConfig()

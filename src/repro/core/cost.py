@@ -1,0 +1,219 @@
+"""The decode cost model and the "what-if" layout analyzer (Section 4.1).
+
+The estimated cost of executing query ``q`` over SOT ``s`` with layout ``L``
+is ``C(s, q, L) = beta * P(s, q, L) + gamma * T(s, q, L)`` where ``P`` is the
+number of pixels decoded and ``T`` the number of tiles decoded.  The paper
+validates this model by fitting a linear model to measured decode times
+(R^2 = 0.996); :func:`fit_cost_model` performs the same fit against the
+simulated codec so the benchmark suite can reproduce that validation.
+
+The re-encode cost ``R(s, L)`` is likewise a linear model in the number of
+pixels (and tiles) encoded, matching Section 5.3's description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..config import TasmConfig
+from ..errors import QueryError
+from ..geometry import Rectangle
+from ..index.base import IndexEntry
+from ..tiles.layout import TileLayout, untiled_layout
+
+__all__ = [
+    "CostEstimate",
+    "CostModel",
+    "WhatIfAnalyzer",
+    "FittedCostModel",
+    "fit_cost_model",
+    "boxes_by_frame",
+]
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated decode work for one (SOT, query, layout) combination."""
+
+    pixels: int
+    tiles: int
+    cost: float
+
+    def __add__(self, other: "CostEstimate") -> "CostEstimate":
+        return CostEstimate(
+            pixels=self.pixels + other.pixels,
+            tiles=self.tiles + other.tiles,
+            cost=self.cost + other.cost,
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        return self.pixels == 0 and self.tiles == 0
+
+
+def boxes_by_frame(entries: Iterable[IndexEntry]) -> dict[int, list[Rectangle]]:
+    """Group index entries into a frame -> boxes mapping (cost-model input)."""
+    grouped: dict[int, list[Rectangle]] = {}
+    for entry in entries:
+        grouped.setdefault(entry.frame_index, []).append(entry.box)
+    return grouped
+
+
+class CostModel:
+    """Implements C(s, q, L), R(s, L), and the improvement delta."""
+
+    def __init__(self, config: TasmConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Decode cost C(s, q, L)
+    # ------------------------------------------------------------------
+    def cost(self, pixels: float, tiles: float) -> float:
+        return self.config.cost.beta * pixels + self.config.cost.gamma * tiles
+
+    def estimate_query_cost(
+        self,
+        layout: TileLayout,
+        frame_boxes: Mapping[int, Sequence[Rectangle]],
+        gop_frames: int | None = None,
+    ) -> CostEstimate:
+        """Estimate P, T, and C for decoding the given boxes under ``layout``.
+
+        ``frame_boxes`` maps each frame the query touches to the bounding
+        boxes requested on that frame.  A tile is charged once per GOP it is
+        opened in (the per-tile overhead ``T``), and its full area is charged
+        for every frame on which it must be decoded (the pixel term ``P``),
+        since the codec cannot decode part of a tile.
+        """
+        gop_frames = gop_frames or self.config.codec.gop_frames
+        rectangles = layout.tile_rectangles()
+        pixels = 0
+        opened: set[tuple[int, int]] = set()
+        for frame_index, boxes in frame_boxes.items():
+            needed: set[int] = set()
+            for box in boxes:
+                needed.update(layout.tiles_intersecting(box))
+            gop_index = frame_index // gop_frames
+            for tile_index in needed:
+                pixels += int(rectangles[tile_index].area)
+                opened.add((gop_index, tile_index))
+        tiles = len(opened)
+        return CostEstimate(pixels=pixels, tiles=tiles, cost=self.cost(pixels, tiles))
+
+    def untiled_query_cost(
+        self,
+        frame_width: int,
+        frame_height: int,
+        frame_boxes: Mapping[int, Sequence[Rectangle]],
+        gop_frames: int | None = None,
+    ) -> CostEstimate:
+        """Cost of the same query against the untiled (omega) layout."""
+        return self.estimate_query_cost(
+            untiled_layout(frame_width, frame_height), frame_boxes, gop_frames
+        )
+
+    def delta(self, current: CostEstimate, alternative: CostEstimate) -> float:
+        """Delta(q, L, L') = C(s,q,L) - C(s,q,L'): positive when L' is better."""
+        return current.cost - alternative.cost
+
+    def pixel_ratio(self, layout_estimate: CostEstimate, untiled_estimate: CostEstimate) -> float:
+        """P(s,q,L) / P(s,q,omega) — the not-tiling decision metric (Fig. 10)."""
+        if untiled_estimate.pixels == 0:
+            return 1.0
+        return layout_estimate.pixels / untiled_estimate.pixels
+
+    def layout_is_useful(
+        self, layout_estimate: CostEstimate, untiled_estimate: CostEstimate
+    ) -> bool:
+        """The alpha rule from Section 3.4.4: tile only if it skips enough pixels."""
+        if untiled_estimate.is_zero:
+            return False
+        return self.pixel_ratio(layout_estimate, untiled_estimate) < self.config.alpha
+
+    # ------------------------------------------------------------------
+    # Re-encode cost R(s, L)
+    # ------------------------------------------------------------------
+    def encode_cost(self, layout: TileLayout, frame_count: int) -> float:
+        """Estimated cost of re-encoding a SOT of ``frame_count`` frames with ``layout``."""
+        if frame_count <= 0:
+            raise QueryError("frame_count must be positive")
+        gop_count = -(-frame_count // self.config.codec.gop_frames)
+        pixel_term = self.config.encode_cost_per_pixel * layout.frame_pixels * frame_count
+        tile_term = self.config.encode_cost_per_tile * layout.tile_count * gop_count
+        return pixel_term + tile_term
+
+
+class WhatIfAnalyzer:
+    """Estimates query costs under hypothetical layouts (the what-if interface).
+
+    Mirrors AutoAdmin-style what-if analysis [12 in the paper]: given the
+    bounding boxes a query would fetch, compare the cost of serving it with
+    the current layout against any alternative layout without encoding
+    anything.
+    """
+
+    def __init__(self, cost_model: CostModel):
+        self.cost_model = cost_model
+
+    def compare(
+        self,
+        current_layout: TileLayout,
+        alternative_layout: TileLayout,
+        frame_boxes: Mapping[int, Sequence[Rectangle]],
+    ) -> dict[str, float]:
+        current = self.cost_model.estimate_query_cost(current_layout, frame_boxes)
+        alternative = self.cost_model.estimate_query_cost(alternative_layout, frame_boxes)
+        return {
+            "current_cost": current.cost,
+            "alternative_cost": alternative.cost,
+            "delta": self.cost_model.delta(current, alternative),
+            "current_pixels": float(current.pixels),
+            "alternative_pixels": float(alternative.pixels),
+            "pixel_ratio": (
+                alternative.pixels / current.pixels if current.pixels else 1.0
+            ),
+        }
+
+    def estimate_from_entries(
+        self, layout: TileLayout, entries: Iterable[IndexEntry]
+    ) -> CostEstimate:
+        return self.cost_model.estimate_query_cost(layout, boxes_by_frame(entries))
+
+
+@dataclass(frozen=True)
+class FittedCostModel:
+    """Result of regressing measured decode time on pixels and tiles."""
+
+    beta: float
+    gamma: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, pixels: float, tiles: float) -> float:
+        return self.intercept + self.beta * pixels + self.gamma * tiles
+
+
+def fit_cost_model(samples: Sequence[tuple[float, float, float]]) -> FittedCostModel:
+    """Fit ``seconds ~ beta * pixels + gamma * tiles + intercept`` by least squares.
+
+    ``samples`` holds (pixels_decoded, tiles_decoded, seconds) triples — the
+    same validation the paper performs over 1,400 decode measurements.
+    """
+    if len(samples) < 3:
+        raise QueryError("fitting the cost model requires at least three samples")
+    matrix = np.array([[pixels, tiles, 1.0] for pixels, tiles, _ in samples], dtype=np.float64)
+    observed = np.array([seconds for _, _, seconds in samples], dtype=np.float64)
+    coefficients, _, _, _ = np.linalg.lstsq(matrix, observed, rcond=None)
+    predicted = matrix @ coefficients
+    residual = float(np.sum((observed - predicted) ** 2))
+    total = float(np.sum((observed - np.mean(observed)) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return FittedCostModel(
+        beta=float(coefficients[0]),
+        gamma=float(coefficients[1]),
+        intercept=float(coefficients[2]),
+        r_squared=r_squared,
+    )

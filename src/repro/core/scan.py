@@ -1,0 +1,70 @@
+"""Scan results: the pixels returned to the query processor plus accounting.
+
+The paper reports query times that include both the semantic-index lookup and
+the tile decode; :class:`ScanResult` carries both so that the benchmarks can
+report the same breakdown, and exposes the P/T counters needed to validate
+the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import Rectangle
+from ..video.codec import DecodeStats
+
+__all__ = ["ScanRegion", "ScanResult"]
+
+
+@dataclass
+class ScanRegion:
+    """Pixels of one selected region on one frame."""
+
+    frame_index: int
+    region: Rectangle
+    pixels: np.ndarray
+    label: str | None = None
+
+    @property
+    def pixel_count(self) -> int:
+        return int(self.pixels.size)
+
+
+@dataclass
+class ScanResult:
+    """Everything a ``Scan`` call returns."""
+
+    video: str
+    regions: list[ScanRegion] = field(default_factory=list)
+    stats: DecodeStats = field(default_factory=DecodeStats)
+    index_seconds: float = 0.0
+    decode_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.index_seconds + self.decode_seconds
+
+    @property
+    def frames_touched(self) -> list[int]:
+        return sorted({region.frame_index for region in self.regions})
+
+    @property
+    def returned_pixels(self) -> int:
+        """Pixels actually handed back to the caller (<= pixels decoded)."""
+        return sum(region.pixel_count for region in self.regions)
+
+    @property
+    def pixels_decoded(self) -> int:
+        return self.stats.pixels_decoded
+
+    @property
+    def tiles_decoded(self) -> int:
+        return self.stats.tiles_decoded
+
+    def regions_on_frame(self, frame_index: int) -> list[ScanRegion]:
+        return [region for region in self.regions if region.frame_index == frame_index]
+
+    def is_empty(self) -> bool:
+        return not self.regions

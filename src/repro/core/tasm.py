@@ -1,0 +1,348 @@
+"""TASM — the tile-based storage manager (Section 3).
+
+This class ties the pieces together: the video catalog (physical, tiled
+storage), the semantic index (labelled bounding boxes), the tile partitioner
+(layout generation), the cost model (layout evaluation), and the decoder
+(query execution).  It exposes the paper's access-method API:
+
+* ``scan(video, L, T)`` — return the pixels satisfying a label predicate and
+  an optional temporal predicate, decoding only the tiles that contain them.
+* ``add_metadata(video, frame, label, x1, y1, x2, y2)`` — incorporate a
+  bounding box produced during query processing into the semantic index.
+
+plus the layout-management operations the tiling strategies of Section 4 are
+built from (``layout_around``, ``retile_sot``, ``optimize_for_workload``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Mapping, Sequence
+
+from ..config import DEFAULT_CONFIG, TasmConfig
+from ..detection.base import Detection
+from ..errors import QueryError
+from ..geometry import BoundingBox, Rectangle
+from ..index.base import IndexEntry, SemanticIndexProtocol
+from ..index.semantic_index import BTreeSemanticIndex
+from ..index.sqlite_index import SqliteSemanticIndex
+from ..storage.catalog import VideoCatalog
+from ..storage.tiled_video import RetileRecord, TiledVideo
+from ..tiles.layout import TileLayout, untiled_layout
+from ..tiles.partitioner import TileGranularity, partition_around_boxes
+from ..video.decoder import RegionRequest, VideoDecoder
+from ..video.video import Video
+from .cost import CostEstimate, CostModel, WhatIfAnalyzer
+from .predicates import LabelPredicate, TemporalPredicate
+from .query import Query, Workload
+from .scan import ScanRegion, ScanResult
+
+__all__ = ["TASM"]
+
+
+class TASM:
+    """The tile-based storage manager."""
+
+    def __init__(
+        self,
+        config: TasmConfig | None = None,
+        semantic_index: SemanticIndexProtocol | None = None,
+        index_backend: str = "btree",
+    ):
+        self.config = config or DEFAULT_CONFIG
+        if semantic_index is not None:
+            self.semantic_index = semantic_index
+        elif index_backend == "btree":
+            self.semantic_index = BTreeSemanticIndex()
+        elif index_backend == "sqlite":
+            self.semantic_index = SqliteSemanticIndex()
+        else:
+            raise QueryError(f"unknown semantic index backend {index_backend!r}")
+        self.catalog = VideoCatalog(self.config)
+        self.cost_model = CostModel(self.config)
+        self.what_if = WhatIfAnalyzer(self.cost_model)
+        self._decoder = VideoDecoder(self.config.codec)
+
+    # ------------------------------------------------------------------
+    # Ingest and metadata (Section 3.1 / 3.3)
+    # ------------------------------------------------------------------
+    def ingest(self, video: Video) -> TiledVideo:
+        """Register a raw video; its initial physical layout is untiled."""
+        return self.catalog.ingest(video)
+
+    def video(self, name: str) -> TiledVideo:
+        return self.catalog.get(name)
+
+    def add_metadata(
+        self,
+        video_id: str,
+        frame: int,
+        label: str,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        confidence: float = 1.0,
+    ) -> None:
+        """The paper's ``AddMetadata`` call: one labelled box on one frame."""
+        self.catalog.get(video_id)  # validate the video exists
+        self.semantic_index.add(
+            IndexEntry(
+                video=video_id,
+                label=label,
+                frame_index=frame,
+                box=BoundingBox(x1, y1, x2, y2),
+                confidence=confidence,
+            )
+        )
+
+    def add_detections(self, video_id: str, detections: Iterable[Detection]) -> int:
+        """Bulk AddMetadata — the path query processors and detectors use."""
+        self.catalog.get(video_id)
+        return self.semantic_index.add_detections(video_id, detections)
+
+    # ------------------------------------------------------------------
+    # Scan (Section 3.1)
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        video_name: str,
+        predicate: LabelPredicate | str | Sequence[str],
+        temporal: TemporalPredicate | None = None,
+    ) -> ScanResult:
+        """Return the pixels satisfying ``predicate`` within ``temporal``.
+
+        The index lookup finds the matching boxes and the tiles containing
+        them; the decoder then decodes only those tiles.  Index time and
+        decode time are reported separately, as in the paper's evaluation.
+        """
+        predicate = self._normalise_predicate(predicate)
+        temporal = temporal or TemporalPredicate.everything()
+        tiled = self.catalog.get(video_name)
+        frame_start, frame_stop = temporal.resolve(tiled.video.frame_count)
+
+        index_started = time.perf_counter()
+        regions_by_frame = self._regions_by_frame(
+            video_name, predicate, frame_start, frame_stop
+        )
+        index_seconds = time.perf_counter() - index_started
+
+        result = ScanResult(video=video_name, index_seconds=index_seconds)
+        if not regions_by_frame:
+            return result
+
+        decode_started = time.perf_counter()
+        label = next(iter(predicate.labels)) if predicate.is_single_label else None
+        for sot_index in tiled.sots_for_frames(frame_start, frame_stop):
+            sot_start, sot_stop = tiled.frame_range(sot_index)
+            requests = [
+                RegionRequest(frame_index=frame_index, region=region, label=label)
+                for frame_index, regions in regions_by_frame.items()
+                if sot_start <= frame_index < sot_stop
+                for region in regions
+            ]
+            if not requests:
+                continue
+            encoded = tiled.encoded_sot(sot_index)
+            decoded = self._decoder.decode_regions(encoded, requests)
+            result.stats.merge(decoded.stats)
+            result.regions.extend(
+                ScanRegion(
+                    frame_index=region.frame_index,
+                    region=region.request.region,
+                    pixels=region.pixels,
+                    label=region.label,
+                )
+                for region in decoded.regions
+            )
+        result.decode_seconds = time.perf_counter() - decode_started
+        return result
+
+    def execute(self, query: Query) -> ScanResult:
+        """Execute a :class:`~repro.core.query.Query` object."""
+        return self.scan(query.video, query.predicate, query.temporal)
+
+    # ------------------------------------------------------------------
+    # Layout generation and re-tiling (Section 3.4 / 4.2)
+    # ------------------------------------------------------------------
+    def boxes_for(
+        self,
+        video_name: str,
+        labels: Iterable[str],
+        frame_start: int,
+        frame_stop: int,
+    ) -> dict[int, list[Rectangle]]:
+        """All indexed boxes of the given labels, grouped by frame."""
+        grouped: dict[int, list[Rectangle]] = {}
+        for label in set(labels):
+            for entry in self.semantic_index.lookup(video_name, label, frame_start, frame_stop):
+                grouped.setdefault(entry.frame_index, []).append(entry.box)
+        return grouped
+
+    def layout_around(
+        self,
+        video_name: str,
+        sot_index: int,
+        objects: Iterable[str],
+        granularity: TileGranularity | None = None,
+    ) -> TileLayout:
+        """``partition(s, O)``: a non-uniform layout around the indexed boxes of O."""
+        tiled = self.catalog.get(video_name)
+        frame_start, frame_stop = tiled.frame_range(sot_index)
+        boxes = [
+            box
+            for frame_boxes in self.boxes_for(video_name, objects, frame_start, frame_stop).values()
+            for box in frame_boxes
+        ]
+        if granularity is None:
+            granularity = (
+                TileGranularity.FINE if self.config.fine_grained else TileGranularity.COARSE
+            )
+        return partition_around_boxes(
+            boxes,
+            frame_width=tiled.video.width,
+            frame_height=tiled.video.height,
+            granularity=granularity,
+            codec=self.config.codec,
+        )
+
+    def retile_sot(self, video_name: str, sot_index: int, layout: TileLayout) -> RetileRecord:
+        """Re-encode one SOT with a new layout (the physical re-organisation)."""
+        return self.catalog.get(video_name).retile(sot_index, layout)
+
+    # ------------------------------------------------------------------
+    # Cost estimation (Section 4.1)
+    # ------------------------------------------------------------------
+    def estimate_sot_query_cost(
+        self,
+        video_name: str,
+        sot_index: int,
+        query: Query,
+        layout: TileLayout | None = None,
+    ) -> CostEstimate:
+        """Estimated C(s, q, L) for one SOT, using the semantic index for boxes."""
+        tiled = self.catalog.get(video_name)
+        frame_start, frame_stop = tiled.frame_range(sot_index)
+        query_start, query_stop = query.temporal.resolve(tiled.video.frame_count)
+        start = max(frame_start, query_start)
+        stop = min(frame_stop, query_stop)
+        if stop <= start:
+            return CostEstimate(0, 0, 0.0)
+        frame_boxes = self._query_regions_by_frame(video_name, query.predicate, start, stop)
+        if layout is None:
+            layout = tiled.layout_for(sot_index)
+        return self.cost_model.estimate_query_cost(
+            layout, frame_boxes, self.config.codec.gop_frames
+        )
+
+    def estimate_untiled_sot_query_cost(
+        self, video_name: str, sot_index: int, query: Query
+    ) -> CostEstimate:
+        tiled = self.catalog.get(video_name)
+        return self.estimate_sot_query_cost(
+            video_name,
+            sot_index,
+            query,
+            untiled_layout(tiled.video.width, tiled.video.height),
+        )
+
+    # ------------------------------------------------------------------
+    # The known-query / known-object optimisation (Section 4.2)
+    # ------------------------------------------------------------------
+    def optimize_for_workload(
+        self,
+        video_name: str,
+        workload: Workload,
+        granularity: TileGranularity = TileGranularity.FINE,
+        apply: bool = True,
+    ) -> dict[int, TileLayout]:
+        """KQKO: pick (and optionally apply) per-SOT layouts for a known workload.
+
+        For every SOT, TASM considers the fine-grained non-uniform layout
+        around the objects the workload targets in that SOT, applies the alpha
+        usefulness rule, and keeps the layout only when it reduces decode work
+        for the workload.  Returns the chosen layouts per SOT index.
+        """
+        tiled = self.catalog.get(video_name)
+        relevant = workload.for_video(video_name)
+        chosen: dict[int, TileLayout] = {}
+        for sot_index in range(tiled.sot_count):
+            frame_start, frame_stop = tiled.frame_range(sot_index)
+            sot_queries = [
+                query
+                for query in relevant
+                if self._query_overlaps(query, tiled.video.frame_count, frame_start, frame_stop)
+            ]
+            if not sot_queries:
+                continue
+            objects = set()
+            for query in sot_queries:
+                objects.update(query.objects)
+            layout = self.layout_around(video_name, sot_index, objects, granularity)
+            if layout.is_untiled:
+                continue
+            tiled_cost = CostEstimate(0, 0, 0.0)
+            untiled_cost = CostEstimate(0, 0, 0.0)
+            for query in sot_queries:
+                tiled_cost = tiled_cost + self.estimate_sot_query_cost(
+                    video_name, sot_index, query, layout
+                )
+                untiled_cost = untiled_cost + self.estimate_untiled_sot_query_cost(
+                    video_name, sot_index, query
+                )
+            if not self.cost_model.layout_is_useful(tiled_cost, untiled_cost):
+                continue
+            chosen[sot_index] = layout
+            if apply:
+                self.retile_sot(video_name, sot_index, layout)
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise_predicate(
+        predicate: LabelPredicate | str | Sequence[str],
+    ) -> LabelPredicate:
+        if isinstance(predicate, LabelPredicate):
+            return predicate
+        if isinstance(predicate, str):
+            return LabelPredicate.single(predicate)
+        return LabelPredicate.any_of(predicate)
+
+    @staticmethod
+    def _query_overlaps(
+        query: Query, frame_count: int, frame_start: int, frame_stop: int
+    ) -> bool:
+        query_start, query_stop = query.temporal.resolve(frame_count)
+        return max(query_start, frame_start) < min(query_stop, frame_stop)
+
+    def _regions_by_frame(
+        self,
+        video_name: str,
+        predicate: LabelPredicate,
+        frame_start: int,
+        frame_stop: int,
+    ) -> dict[int, list[Rectangle]]:
+        """Evaluate the predicate against the index: frame -> selected regions."""
+        boxes_by_frame_and_label: dict[int, dict[str, list[Rectangle]]] = {}
+        for label in predicate.labels:
+            for entry in self.semantic_index.lookup(video_name, label, frame_start, frame_stop):
+                boxes_by_frame_and_label.setdefault(entry.frame_index, {}).setdefault(
+                    label, []
+                ).append(entry.box)
+        regions: dict[int, list[Rectangle]] = {}
+        for frame_index, by_label in boxes_by_frame_and_label.items():
+            selected = predicate.regions_for_frame(by_label)
+            if selected:
+                regions[frame_index] = selected
+        return regions
+
+    def _query_regions_by_frame(
+        self,
+        video_name: str,
+        predicate: LabelPredicate,
+        frame_start: int,
+        frame_stop: int,
+    ) -> Mapping[int, Sequence[Rectangle]]:
+        return self._regions_by_frame(video_name, predicate, frame_start, frame_stop)

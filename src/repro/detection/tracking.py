@@ -1,0 +1,122 @@
+"""Lightweight object tracking and detection interpolation.
+
+Section 5.2.4 of the paper shows that running the full detector on every
+fifth frame — and relying on the fact that objects persist across frames —
+produces tile layouts almost as good as per-frame detection.  The helpers
+here make that strategy concrete: an IoU-based tracker links detections of
+the same object across sampled frames, and ``interpolate_detections`` fills
+in the skipped frames by linearly interpolating each track's box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geometry import Rectangle
+from .base import Detection
+
+__all__ = ["Track", "IouTracker", "interpolate_detections"]
+
+
+@dataclass
+class Track:
+    """A sequence of detections believed to be the same physical object."""
+
+    track_id: int
+    label: str
+    detections: list[Detection] = field(default_factory=list)
+
+    @property
+    def last(self) -> Detection:
+        return self.detections[-1]
+
+    def add(self, detection: Detection) -> None:
+        self.detections.append(detection)
+
+
+class IouTracker:
+    """Greedy intersection-over-union association across frames."""
+
+    def __init__(self, iou_threshold: float = 0.1):
+        self.iou_threshold = iou_threshold
+        self._tracks: list[Track] = []
+        self._next_id = 0
+
+    @property
+    def tracks(self) -> list[Track]:
+        return list(self._tracks)
+
+    def update(self, detections: list[Detection]) -> None:
+        """Associate one frame's detections with existing tracks."""
+        unmatched = list(detections)
+        for track in self._tracks:
+            best_index = -1
+            best_iou = self.iou_threshold
+            for index, detection in enumerate(unmatched):
+                if detection.label != track.label:
+                    continue
+                overlap = detection.box.iou(track.last.box)
+                if overlap > best_iou:
+                    best_iou = overlap
+                    best_index = index
+            if best_index >= 0:
+                track.add(unmatched.pop(best_index))
+        for detection in unmatched:
+            track = Track(self._next_id, detection.label, [detection])
+            self._next_id += 1
+            self._tracks.append(track)
+
+    def run(self, detections_by_frame: dict[int, list[Detection]]) -> list[Track]:
+        """Track across all frames (processed in frame order) and return tracks."""
+        for frame_index in sorted(detections_by_frame):
+            self.update(detections_by_frame[frame_index])
+        return self.tracks
+
+
+def interpolate_detections(
+    detections: list[Detection],
+    frame_count: int,
+    iou_threshold: float = 0.1,
+) -> list[Detection]:
+    """Fill frames between sampled detections by interpolating track boxes.
+
+    Given detections produced by running a detector every N frames, build
+    tracks and linearly interpolate each track's box on the skipped frames.
+    Frames before a track's first sample or after its last are left empty —
+    the tracker does not hallucinate objects it never saw.
+    """
+    by_frame: dict[int, list[Detection]] = {}
+    for detection in detections:
+        by_frame.setdefault(detection.frame_index, []).append(detection)
+    tracks = IouTracker(iou_threshold).run(by_frame)
+
+    interpolated: list[Detection] = list(detections)
+    for track in tracks:
+        ordered = sorted(track.detections, key=lambda d: d.frame_index)
+        for earlier, later in zip(ordered, ordered[1:]):
+            span = later.frame_index - earlier.frame_index
+            if span <= 1:
+                continue
+            if earlier.box.iou(later.box) == 0.0:
+                # The two samples do not overlap at all: almost certainly a
+                # track-association error (e.g. two similar objects crossing).
+                # Interpolating would sweep a box across unrelated parts of
+                # the frame and wreck the layouts built from it, so skip.
+                continue
+            for frame_index in range(earlier.frame_index + 1, later.frame_index):
+                fraction = (frame_index - earlier.frame_index) / span
+                box = _interpolate_box(earlier.box, later.box, fraction)
+                confidence = min(earlier.confidence, later.confidence)
+                interpolated.append(Detection(frame_index, track.label, box, confidence))
+    if frame_count > 0:
+        interpolated = [d for d in interpolated if 0 <= d.frame_index < frame_count]
+    return interpolated
+
+
+def _interpolate_box(start: Rectangle, end: Rectangle, fraction: float) -> Rectangle:
+    return Rectangle(
+        start.x1 + (end.x1 - start.x1) * fraction,
+        start.y1 + (end.y1 - start.y1) * fraction,
+        start.x2 + (end.x2 - start.x2) * fraction,
+        start.y2 + (end.y2 - start.y2) * fraction,
+    )

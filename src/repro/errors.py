@@ -1,0 +1,69 @@
+"""Exception hierarchy for the TASM reproduction.
+
+Every error raised by the library derives from :class:`TasmError` so that
+callers can catch a single base class.  Subclasses are grouped by the
+subsystem that raises them (codec, layout, index, storage, query).
+"""
+
+from __future__ import annotations
+
+
+class TasmError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(TasmError):
+    """Raised when a configuration value is invalid (e.g. negative threshold)."""
+
+
+class GeometryError(TasmError):
+    """Raised for malformed rectangles or bounding boxes."""
+
+
+class LayoutError(TasmError):
+    """Raised when a tile layout is invalid.
+
+    Examples include rows/columns that do not cover the frame, tiles smaller
+    than the codec's minimum tile dimensions, or a layout whose dimensions do
+    not match the frame it is applied to.
+    """
+
+
+class CodecError(TasmError):
+    """Raised by the simulated codec for malformed bitstreams or parameters."""
+
+
+class BitstreamCorruptionError(CodecError):
+    """Raised when decoding an encoded tile whose payload fails validation."""
+
+
+class IndexError_(TasmError):
+    """Raised by the semantic index for invalid keys or queries.
+
+    The trailing underscore avoids shadowing the builtin ``IndexError``.
+    """
+
+
+class StorageError(TasmError):
+    """Raised by the tiled-video storage layer (missing SOTs, bad paths)."""
+
+
+class QueryError(TasmError):
+    """Raised for malformed queries or predicates."""
+
+
+class UnknownVideoError(StorageError):
+    """Raised when an operation references a video that was never ingested."""
+
+
+class UnknownLabelError(QueryError):
+    """Raised when a query references a label absent from the semantic index
+    and the caller asked for strict label checking."""
+
+
+class DetectionError(TasmError):
+    """Raised by the simulated object detectors."""
+
+
+class WorkloadError(TasmError):
+    """Raised by workload generators for inconsistent parameters."""

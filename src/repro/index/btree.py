@@ -1,0 +1,208 @@
+"""A from-scratch B-tree with duplicate keys and range scans.
+
+The semantic index is described in the paper as "a B-tree clustered on
+(video, label, time)".  This module provides the underlying ordered map: keys
+are arbitrary comparable tuples, values are lists (duplicates append), leaves
+are linked for range scans, and internal nodes split at a configurable order.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Generic, Iterator, TypeVar
+
+from ..errors import IndexError_
+
+__all__ = ["BTree"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+@dataclass
+class _Node(Generic[K, V]):
+    """A B-tree node; leaves hold values, internal nodes hold children."""
+
+    is_leaf: bool
+    keys: list[K] = field(default_factory=list)
+    children: list["_Node[K, V]"] = field(default_factory=list)
+    values: list[list[V]] = field(default_factory=list)
+    next_leaf: "_Node[K, V] | None" = None
+
+
+class BTree(Generic[K, V]):
+    """An ordered multimap backed by a B+-tree.
+
+    ``order`` is the maximum number of keys per node; nodes split when they
+    exceed it.  Values for equal keys accumulate in insertion order, which is
+    what the semantic index needs (many boxes share a (video, label, frame)
+    key).
+    """
+
+    def __init__(self, order: int = 32):
+        if order < 3:
+            raise IndexError_("B-tree order must be at least 3")
+        self.order = order
+        self._root: _Node[K, V] = _Node(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: K, value: V) -> None:
+        """Insert ``value`` under ``key`` (duplicates accumulate)."""
+        root = self._root
+        self._insert_into(root, key, value)
+        if len(root.keys) > self.order:
+            separator, right = self._split(root)
+            new_root: _Node[K, V] = _Node(is_leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert_into(self, node: _Node[K, V], key: K, value: V) -> None:
+        if node.is_leaf:
+            position = bisect.bisect_left(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                node.values[position].append(value)
+            else:
+                node.keys.insert(position, key)
+                node.values.insert(position, [value])
+            return
+        position = bisect.bisect_right(node.keys, key)
+        child = node.children[position]
+        self._insert_into(child, key, value)
+        if len(child.keys) > self.order:
+            separator, right = self._split(child)
+            node.keys.insert(position, separator)
+            node.children.insert(position + 1, right)
+
+    def _split(self, node: _Node[K, V]) -> tuple[K, _Node[K, V]]:
+        """Split an over-full node in place: ``node`` keeps the left half and a
+        new sibling holding the right half is returned with its separator key.
+
+        Splitting in place (rather than allocating a fresh left node) keeps
+        every existing reference to ``node`` valid — in particular the
+        ``next_leaf`` pointer of the preceding leaf, which the range-scan
+        chain depends on.
+        """
+        middle = len(node.keys) // 2
+        if node.is_leaf:
+            right: _Node[K, V] = _Node(is_leaf=True)
+            right.keys = node.keys[middle:]
+            right.values = node.values[middle:]
+            right.next_leaf = node.next_leaf
+            node.keys = node.keys[:middle]
+            node.values = node.values[:middle]
+            node.next_leaf = right
+            return right.keys[0], right
+        separator = node.keys[middle]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def get(self, key: K) -> list[V]:
+        """All values stored under exactly ``key`` (empty list if absent)."""
+        node = self._root
+        while not node.is_leaf:
+            position = bisect.bisect_right(node.keys, key)
+            node = node.children[position]
+        position = bisect.bisect_left(node.keys, key)
+        if position < len(node.keys) and node.keys[position] == key:
+            return list(node.values[position])
+        return []
+
+    def __contains__(self, key: K) -> bool:
+        return bool(self.get(key))
+
+    def range(self, low: K | None = None, high: K | None = None) -> Iterator[tuple[K, V]]:
+        """Yield (key, value) pairs with ``low <= key < high`` in key order.
+
+        ``None`` bounds are open.  Duplicate values under one key are yielded
+        in insertion order.
+        """
+        node = self._leftmost_leaf() if low is None else self._leaf_for(low)
+        while node is not None:
+            for position, key in enumerate(node.keys):
+                if low is not None and key < low:  # type: ignore[operator]
+                    continue
+                if high is not None and key >= high:  # type: ignore[operator]
+                    return
+                for value in node.values[position]:
+                    yield key, value
+            node = node.next_leaf
+
+    def keys(self) -> Iterator[K]:
+        node = self._leftmost_leaf()
+        while node is not None:
+            yield from node.keys
+            node = node.next_leaf
+
+    def items(self) -> Iterator[tuple[K, V]]:
+        return self.range()
+
+    # ------------------------------------------------------------------
+    # Navigation helpers
+    # ------------------------------------------------------------------
+    def _leftmost_leaf(self) -> _Node[K, V]:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def _leaf_for(self, key: K) -> _Node[K, V]:
+        node = self._root
+        while not node.is_leaf:
+            position = bisect.bisect_right(node.keys, key)
+            node = node.children[position]
+        return node
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by the property tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise if the tree violates ordering or occupancy invariants."""
+        collected = list(self.keys())
+        if collected != sorted(collected):
+            raise IndexError_("leaf keys are not globally sorted")
+        self._check_node(self._root, depth=0, depths=[])
+
+    def _check_node(self, node: _Node[K, V], depth: int, depths: list[int]) -> None:
+        if node.keys != sorted(node.keys):
+            raise IndexError_("node keys are not sorted")
+        if len(node.keys) > self.order:
+            raise IndexError_("node exceeds the configured order")
+        if node.is_leaf:
+            if len(node.keys) != len(node.values):
+                raise IndexError_("leaf keys and values are misaligned")
+            depths.append(depth)
+            if len(set(depths)) > 1:
+                raise IndexError_("leaves are not all at the same depth")
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise IndexError_("internal node child count is inconsistent")
+        for child in node.children:
+            self._check_node(child, depth + 1, depths)

@@ -1,0 +1,57 @@
+"""Catalog of videos managed by the storage manager."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..config import TasmConfig
+from ..errors import UnknownVideoError
+from ..video.video import Video
+from .tiled_video import TiledVideo
+
+__all__ = ["VideoCatalog"]
+
+
+class VideoCatalog:
+    """Maps video names to their physical (tiled) representations.
+
+    The catalog is the single source of truth for "which videos has TASM
+    ingested"; every ``Scan`` starts by resolving the video name here.
+    """
+
+    def __init__(self, config: TasmConfig):
+        self._config = config
+        self._videos: dict[str, TiledVideo] = {}
+
+    def ingest(self, video: Video) -> TiledVideo:
+        """Register a raw video and create its (initially untiled) physical form."""
+        if video.name in self._videos:
+            raise UnknownVideoError(
+                f"video {video.name!r} has already been ingested; names must be unique"
+            )
+        tiled = TiledVideo(video=video, config=self._config)
+        self._videos[video.name] = tiled
+        return tiled
+
+    def get(self, name: str) -> TiledVideo:
+        tiled = self._videos.get(name)
+        if tiled is None:
+            raise UnknownVideoError(f"video {name!r} has not been ingested")
+        return tiled
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._videos
+
+    def __iter__(self) -> Iterator[TiledVideo]:
+        return iter(self._videos.values())
+
+    def __len__(self) -> int:
+        return len(self._videos)
+
+    def names(self) -> list[str]:
+        return sorted(self._videos)
+
+    def remove(self, name: str) -> None:
+        if name not in self._videos:
+            raise UnknownVideoError(f"video {name!r} has not been ingested")
+        del self._videos[name]

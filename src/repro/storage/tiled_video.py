@@ -1,0 +1,178 @@
+"""The physical, tiled representation of one video.
+
+A :class:`TiledVideo` owns the encoded form of every SOT of a video together
+with the layout specification that produced it.  SOTs are encoded lazily (a
+freshly ingested video is simply "untiled": each SOT is a single full-frame
+tile, encoded the first time it is read) and can be *re-tiled*: re-encoded
+under a new layout, which is the operation whose cost ``R(s, L)`` the
+incremental strategies weigh against accumulated regret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import TasmConfig
+from ..errors import StorageError
+from ..tiles.layout import TileLayout, VideoLayoutSpec, untiled_layout
+from ..video.encoder import EncodedSot, VideoEncoder
+from ..video.codec import EncodeStats
+from ..video.video import Video
+
+__all__ = ["RetileRecord", "TiledVideo"]
+
+
+@dataclass(frozen=True)
+class RetileRecord:
+    """Bookkeeping for one (re-)encode of a SOT."""
+
+    sot_index: int
+    layout: TileLayout
+    pixels_encoded: int
+    tiles_encoded: int
+    bytes_written: int
+    encode_seconds: float
+
+
+@dataclass
+class TiledVideo:
+    """Encoded tiles of a video plus the layout that produced them."""
+
+    video: Video
+    config: TasmConfig
+    layout_spec: VideoLayoutSpec = field(init=False)
+    _sots: dict[int, EncodedSot] = field(default_factory=dict, init=False)
+    _encoder: VideoEncoder = field(init=False)
+    retile_history: list[RetileRecord] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        self.layout_spec = VideoLayoutSpec(
+            frame_width=self.video.width,
+            frame_height=self.video.height,
+            frame_count=self.video.frame_count,
+            sot_frames=self.config.layout_duration_frames,
+        )
+        self._encoder = VideoEncoder(self.config.codec)
+
+    # ------------------------------------------------------------------
+    # Identity and shape
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.video.name
+
+    @property
+    def sot_count(self) -> int:
+        return self.layout_spec.sot_count
+
+    @property
+    def untiled_layout(self) -> TileLayout:
+        return untiled_layout(self.video.width, self.video.height)
+
+    def layout_for(self, sot_index: int) -> TileLayout:
+        return self.layout_spec.layout_for(sot_index)
+
+    def sots_for_frames(self, frame_start: int, frame_stop: int) -> list[int]:
+        return self.layout_spec.sots_for_frames(frame_start, frame_stop)
+
+    def frame_range(self, sot_index: int) -> tuple[int, int]:
+        return self.layout_spec.frame_range(sot_index)
+
+    # ------------------------------------------------------------------
+    # Encoded data access
+    # ------------------------------------------------------------------
+    def encoded_sot(self, sot_index: int) -> EncodedSot:
+        """The encoded form of a SOT, encoding it on first access."""
+        cached = self._sots.get(sot_index)
+        if cached is not None:
+            return cached
+        return self._encode(sot_index, self.layout_for(sot_index), record=False)
+
+    def is_materialised(self, sot_index: int) -> bool:
+        """True when the SOT has already been encoded (lazy encode happened)."""
+        return sot_index in self._sots
+
+    # ------------------------------------------------------------------
+    # Re-tiling
+    # ------------------------------------------------------------------
+    def retile(self, sot_index: int, layout: TileLayout) -> RetileRecord:
+        """Re-encode one SOT under ``layout`` and record the work done.
+
+        Re-tiling to the layout the SOT already has is a no-op that costs
+        nothing; TASM's policies rely on this so that "keep the current
+        layout" is always free.
+        """
+        current = self.layout_for(sot_index)
+        if layout == current and self.is_materialised(sot_index):
+            return RetileRecord(sot_index, layout, 0, 0, 0, 0.0)
+        self.layout_spec.set_layout(sot_index, layout)
+        encoded = self._encode(sot_index, layout, record=True)
+        return self.retile_history[-1] if self.retile_history else RetileRecord(
+            sot_index, layout, 0, 0, encoded.size_bytes, encoded.encode_seconds
+        )
+
+    def _encode(self, sot_index: int, layout: TileLayout, record: bool) -> EncodedSot:
+        start, stop = self.layout_spec.frame_range(sot_index)
+        stats = EncodeStats()
+        encoded = self._encoder.encode_sot(
+            self.video, sot_index, start, stop, layout, stats=stats
+        )
+        self._sots[sot_index] = encoded
+        if record:
+            self.retile_history.append(
+                RetileRecord(
+                    sot_index=sot_index,
+                    layout=layout,
+                    pixels_encoded=stats.pixels_encoded,
+                    tiles_encoded=stats.tiles_encoded,
+                    bytes_written=stats.bytes_written,
+                    encode_seconds=encoded.encode_seconds,
+                )
+            )
+        return encoded
+
+    # ------------------------------------------------------------------
+    # Storage accounting
+    # ------------------------------------------------------------------
+    def materialise_all(self) -> None:
+        """Encode every SOT under its current layout (used by storage studies)."""
+        for sot_index in range(self.sot_count):
+            self.encoded_sot(sot_index)
+
+    def total_size_bytes(self, materialise: bool = False) -> int:
+        """Bytes used by all encoded SOTs.
+
+        With ``materialise=True`` every SOT is encoded first so the figure
+        reflects the whole video; otherwise only already-encoded SOTs count.
+        """
+        if materialise:
+            self.materialise_all()
+        return sum(sot.size_bytes for sot in self._sots.values())
+
+    def storage_summary(self) -> dict[str, float]:
+        """Summary used by the SOT-duration experiment (Figure 9)."""
+        total = self.total_size_bytes()
+        keyframes = sum(
+            tile.keyframe_bytes for sot in self._sots.values() for gop in sot.gops for tile in gop.tiles
+        )
+        return {
+            "total_bytes": float(total),
+            "keyframe_bytes": float(keyframes),
+            "sot_count": float(self.sot_count),
+            "tiled_sots": float(len(self.layout_spec.tiled_sots())),
+        }
+
+    def validate(self) -> None:
+        """Check structural invariants of the stored representation."""
+        for sot_index, encoded in self._sots.items():
+            start, stop = self.layout_spec.frame_range(sot_index)
+            if encoded.frame_start != start or encoded.frame_stop != stop:
+                raise StorageError(
+                    f"SOT {sot_index} encoded range [{encoded.frame_start}, {encoded.frame_stop}) "
+                    f"does not match the layout spec range [{start}, {stop})"
+                )
+            layout = self.layout_for(sot_index)
+            if encoded.layout != layout:
+                raise StorageError(
+                    f"SOT {sot_index} is encoded with a different layout than the spec records"
+                )

@@ -1,0 +1,20 @@
+"""Tile layouts and layout generation.
+
+A *tile layout* partitions a frame into a regular grid of independently
+decodable tiles (Section 2 of the paper).  A *layout specification* maps each
+sequence of tiles (SOT) of a video to the layout used for its frames.  The
+*partitioner* generates non-uniform layouts whose boundaries avoid the
+bounding boxes of the objects queries target (Section 3.4.2).
+"""
+
+from .layout import TileLayout, VideoLayoutSpec, uniform_layout, untiled_layout
+from .partitioner import TileGranularity, partition_around_boxes
+
+__all__ = [
+    "TileLayout",
+    "VideoLayoutSpec",
+    "uniform_layout",
+    "untiled_layout",
+    "TileGranularity",
+    "partition_around_boxes",
+]

@@ -1,0 +1,303 @@
+"""Tile layouts.
+
+The paper defines a layout as ``L = (nr, nc, {h1..hnr}, {c1..cnc})``: the
+number of rows and columns plus the height of each row and the width of each
+column.  Rows and columns extend across the whole frame (HEVC only supports
+regular grids), so a layout is fully described by its row heights and column
+widths.  The untiled layout ``omega`` is the special case of a single tile
+covering the whole frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from ..errors import LayoutError
+from ..geometry import Rectangle
+
+__all__ = ["TileLayout", "VideoLayoutSpec", "uniform_layout", "untiled_layout"]
+
+
+@dataclass(frozen=True)
+class TileLayout:
+    """A regular tile grid over a frame of ``frame_width`` x ``frame_height``.
+
+    The row heights must sum to the frame height and the column widths to the
+    frame width; every tile therefore has positive area and the grid exactly
+    covers the frame (pixel conservation — verified by property tests).
+    """
+
+    frame_width: int
+    frame_height: int
+    row_heights: tuple[int, ...]
+    column_widths: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.frame_width <= 0 or self.frame_height <= 0:
+            raise LayoutError("frame dimensions must be positive")
+        if not self.row_heights or not self.column_widths:
+            raise LayoutError("a layout needs at least one row and one column")
+        if any(h <= 0 for h in self.row_heights) or any(w <= 0 for w in self.column_widths):
+            raise LayoutError("row heights and column widths must be positive")
+        if sum(self.row_heights) != self.frame_height:
+            raise LayoutError(
+                f"row heights {self.row_heights} sum to {sum(self.row_heights)}, "
+                f"expected frame height {self.frame_height}"
+            )
+        if sum(self.column_widths) != self.frame_width:
+            raise LayoutError(
+                f"column widths {self.column_widths} sum to {sum(self.column_widths)}, "
+                f"expected frame width {self.frame_width}"
+            )
+        # Normalise to tuples so instances built from lists stay hashable.
+        object.__setattr__(self, "row_heights", tuple(int(h) for h in self.row_heights))
+        object.__setattr__(self, "column_widths", tuple(int(w) for w in self.column_widths))
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return len(self.row_heights)
+
+    @property
+    def columns(self) -> int:
+        return len(self.column_widths)
+
+    @property
+    def tile_count(self) -> int:
+        return self.rows * self.columns
+
+    @property
+    def is_untiled(self) -> bool:
+        """True for the omega layout: a single tile covering the frame."""
+        return self.tile_count == 1
+
+    @property
+    def row_offsets(self) -> tuple[int, ...]:
+        offsets = [0]
+        for height in self.row_heights[:-1]:
+            offsets.append(offsets[-1] + height)
+        return tuple(offsets)
+
+    @property
+    def column_offsets(self) -> tuple[int, ...]:
+        offsets = [0]
+        for width in self.column_widths[:-1]:
+            offsets.append(offsets[-1] + width)
+        return tuple(offsets)
+
+    # ------------------------------------------------------------------
+    # Tile geometry
+    # ------------------------------------------------------------------
+    def tile_rectangle(self, row: int, column: int) -> Rectangle:
+        """The rectangle of the tile at grid position (row, column)."""
+        if not 0 <= row < self.rows or not 0 <= column < self.columns:
+            raise LayoutError(
+                f"tile ({row}, {column}) out of range for a {self.rows}x{self.columns} layout"
+            )
+        x1 = self.column_offsets[column]
+        y1 = self.row_offsets[row]
+        return Rectangle(x1, y1, x1 + self.column_widths[column], y1 + self.row_heights[row])
+
+    def tile_rectangles(self) -> list[Rectangle]:
+        """All tile rectangles in row-major order."""
+        return [
+            self.tile_rectangle(row, column)
+            for row in range(self.rows)
+            for column in range(self.columns)
+        ]
+
+    def tile_index(self, row: int, column: int) -> int:
+        if not 0 <= row < self.rows or not 0 <= column < self.columns:
+            raise LayoutError(
+                f"tile ({row}, {column}) out of range for a {self.rows}x{self.columns} layout"
+            )
+        return row * self.columns + column
+
+    def tile_position(self, index: int) -> tuple[int, int]:
+        if not 0 <= index < self.tile_count:
+            raise LayoutError(f"tile index {index} out of range ({self.tile_count} tiles)")
+        return divmod(index, self.columns)[0], index % self.columns
+
+    def tile_containing_point(self, x: float, y: float) -> int:
+        """Index of the tile containing the point (x, y)."""
+        if not (0 <= x < self.frame_width and 0 <= y < self.frame_height):
+            raise LayoutError(f"point ({x}, {y}) lies outside the frame")
+        row = self._locate(y, self.row_offsets, self.row_heights)
+        column = self._locate(x, self.column_offsets, self.column_widths)
+        return self.tile_index(row, column)
+
+    def tiles_intersecting(self, region: Rectangle) -> list[int]:
+        """Indices of every tile whose area overlaps ``region``."""
+        frame = Rectangle(0, 0, self.frame_width, self.frame_height)
+        clipped = region.clamp(frame)
+        if clipped is None:
+            return []
+        indices = []
+        for row in range(self.rows):
+            for column in range(self.columns):
+                if self.tile_rectangle(row, column).intersects(clipped):
+                    indices.append(self.tile_index(row, column))
+        return indices
+
+    def pixels_decoded_for(self, regions: Sequence[Rectangle]) -> int:
+        """Pixels that must be decoded to recover all of ``regions``.
+
+        This is the union of the areas of every tile any region intersects —
+        the codec cannot decode part of a tile.
+        """
+        needed: set[int] = set()
+        for region in regions:
+            needed.update(self.tiles_intersecting(region))
+        rectangles = self.tile_rectangles()
+        return int(sum(rectangles[index].area for index in needed))
+
+    def boundary_length(self) -> int:
+        """Total length of interior tile boundaries (quality proxy)."""
+        horizontal = (self.rows - 1) * self.frame_width
+        vertical = (self.columns - 1) * self.frame_height
+        return horizontal + vertical
+
+    @property
+    def frame_pixels(self) -> int:
+        return self.frame_width * self.frame_height
+
+    def describe(self) -> str:
+        """Short human-readable description, e.g. '3x4 (non-uniform)'."""
+        uniform = len(set(self.row_heights)) <= 1 and len(set(self.column_widths)) <= 1
+        kind = "uniform" if uniform else "non-uniform"
+        if self.is_untiled:
+            return "untiled"
+        return f"{self.rows}x{self.columns} ({kind})"
+
+    @staticmethod
+    def _locate(value: float, offsets: tuple[int, ...], sizes: tuple[int, ...]) -> int:
+        for position, (offset, size) in enumerate(zip(offsets, sizes)):
+            if offset <= value < offset + size:
+                return position
+        return len(sizes) - 1
+
+    def __iter__(self) -> Iterator[Rectangle]:
+        return iter(self.tile_rectangles())
+
+
+def untiled_layout(frame_width: int, frame_height: int) -> TileLayout:
+    """The omega layout: one tile spanning the whole frame (Section 2)."""
+    return TileLayout(
+        frame_width=frame_width,
+        frame_height=frame_height,
+        row_heights=(frame_height,),
+        column_widths=(frame_width,),
+    )
+
+
+def uniform_layout(
+    frame_width: int,
+    frame_height: int,
+    rows: int,
+    columns: int,
+    block_size: int = 1,
+) -> TileLayout:
+    """A uniform ``rows x columns`` grid, with dimensions snapped to blocks.
+
+    Each row/column gets the same size rounded down to a multiple of
+    ``block_size``; the remainder is absorbed by the last row/column, the same
+    way hardware encoders pad the final coding-tree-unit row.
+    """
+    if rows <= 0 or columns <= 0:
+        raise LayoutError("rows and columns must be positive")
+    if rows > frame_height or columns > frame_width:
+        raise LayoutError(
+            f"cannot split a {frame_width}x{frame_height} frame into {rows}x{columns} tiles"
+        )
+
+    def split(total: int, parts: int) -> tuple[int, ...]:
+        base = max((total // parts) // block_size * block_size, 1)
+        sizes = [base] * (parts - 1)
+        last = total - base * (parts - 1)
+        if last <= 0:
+            raise LayoutError(
+                f"cannot split {total} pixels into {parts} parts with block size {block_size}"
+            )
+        sizes.append(last)
+        return tuple(sizes)
+
+    return TileLayout(
+        frame_width=frame_width,
+        frame_height=frame_height,
+        row_heights=split(frame_height, rows),
+        column_widths=split(frame_width, columns),
+    )
+
+
+@dataclass
+class VideoLayoutSpec:
+    """Maps every sequence of tiles (SOT) of a video to its tile layout.
+
+    SOTs are identified by index; each SOT covers ``sot_frames`` frames (the
+    last one may be shorter).  SOTs without an explicit entry use the untiled
+    layout, matching the paper's starting state where videos are not tiled.
+    """
+
+    frame_width: int
+    frame_height: int
+    frame_count: int
+    sot_frames: int
+    layouts: dict[int, TileLayout] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.sot_frames <= 0:
+            raise LayoutError("sot_frames must be positive")
+        if self.frame_count <= 0:
+            raise LayoutError("frame_count must be positive")
+
+    @property
+    def sot_count(self) -> int:
+        return -(-self.frame_count // self.sot_frames)
+
+    def sot_of_frame(self, frame_index: int) -> int:
+        if not 0 <= frame_index < self.frame_count:
+            raise LayoutError(f"frame {frame_index} out of range")
+        return frame_index // self.sot_frames
+
+    def frame_range(self, sot_index: int) -> tuple[int, int]:
+        if not 0 <= sot_index < self.sot_count:
+            raise LayoutError(f"SOT {sot_index} out of range ({self.sot_count} SOTs)")
+        start = sot_index * self.sot_frames
+        return start, min(start + self.sot_frames, self.frame_count)
+
+    def sots_for_frames(self, start: int, stop: int) -> list[int]:
+        """SOT indices overlapping the frame range ``[start, stop)``."""
+        if stop <= start:
+            return []
+        start = max(start, 0)
+        stop = min(stop, self.frame_count)
+        return list(range(start // self.sot_frames, (stop - 1) // self.sot_frames + 1))
+
+    def layout_for(self, sot_index: int) -> TileLayout:
+        if not 0 <= sot_index < self.sot_count:
+            raise LayoutError(f"SOT {sot_index} out of range ({self.sot_count} SOTs)")
+        layout = self.layouts.get(sot_index)
+        if layout is None:
+            return untiled_layout(self.frame_width, self.frame_height)
+        return layout
+
+    def set_layout(self, sot_index: int, layout: TileLayout) -> None:
+        if layout.frame_width != self.frame_width or layout.frame_height != self.frame_height:
+            raise LayoutError(
+                "layout frame dimensions do not match the video this spec describes"
+            )
+        if not 0 <= sot_index < self.sot_count:
+            raise LayoutError(f"SOT {sot_index} out of range ({self.sot_count} SOTs)")
+        self.layouts[sot_index] = layout
+
+    def tiled_sots(self) -> list[int]:
+        """Indices of SOTs that carry a non-trivial (non-omega) layout."""
+        return sorted(
+            index for index, layout in self.layouts.items() if not layout.is_untiled
+        )
+
+    def as_mapping(self) -> Mapping[int, TileLayout]:
+        return dict(self.layouts)

@@ -1,0 +1,170 @@
+"""Non-uniform tile layout generation around object bounding boxes.
+
+This implements ``partition(s, O)`` from Section 3.4.2 of the paper: given the
+bounding boxes of the objects a layout should be designed around, produce a
+regular tile grid whose boundaries do not cross any box, at one of two
+granularities:
+
+* **Fine-grained** — isolate non-intersecting boxes into the smallest tiles
+  the codec allows, by cutting the frame at every row/column position that
+  avoids all boxes (Figure 4(a)).
+* **Coarse-grained** — place all boxes inside one large tile by cutting only
+  at the outer extent of their union (Figure 4(b)).
+
+All cuts are snapped to the codec block size, and rows/columns smaller than
+the codec minimum tile dimensions are merged into their neighbours.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+from ..config import CodecConfig
+from ..errors import LayoutError
+from ..geometry import Rectangle, merge_intervals
+from .layout import TileLayout, untiled_layout
+
+__all__ = ["TileGranularity", "partition_around_boxes"]
+
+
+class TileGranularity(enum.Enum):
+    """Granularity of non-uniform layouts (Section 3.4.2, Figure 4)."""
+
+    FINE = "fine"
+    COARSE = "coarse"
+
+
+def partition_around_boxes(
+    boxes: Iterable[Rectangle],
+    frame_width: int,
+    frame_height: int,
+    granularity: TileGranularity = TileGranularity.FINE,
+    codec: CodecConfig | None = None,
+) -> TileLayout:
+    """Design a non-uniform layout whose boundaries avoid ``boxes``.
+
+    Returns the untiled layout when no valid cut exists (for example when
+    objects cover essentially the whole frame), which is also the correct
+    degenerate answer: a layout with no interior boundary.
+    """
+    codec = codec or CodecConfig()
+    if frame_width <= 0 or frame_height <= 0:
+        raise LayoutError("frame dimensions must be positive")
+
+    frame = Rectangle(0, 0, frame_width, frame_height)
+    clipped = [box.clamp(frame) for box in boxes]
+    snapped = [
+        box.snapped(codec.block_size).clamp(frame)
+        for box in clipped
+        if box is not None and not box.is_empty
+    ]
+    usable = [box for box in snapped if box is not None and not box.is_empty]
+    if not usable:
+        return untiled_layout(frame_width, frame_height)
+
+    if granularity is TileGranularity.FINE:
+        column_cuts = _fine_cuts(
+            [(box.x1, box.x2) for box in usable], frame_width, codec.min_tile_width, codec.block_size
+        )
+        row_cuts = _fine_cuts(
+            [(box.y1, box.y2) for box in usable], frame_height, codec.min_tile_height, codec.block_size
+        )
+    else:
+        column_cuts = _coarse_cuts(
+            [(box.x1, box.x2) for box in usable], frame_width, codec.min_tile_width, codec.block_size
+        )
+        row_cuts = _coarse_cuts(
+            [(box.y1, box.y2) for box in usable], frame_height, codec.min_tile_height, codec.block_size
+        )
+
+    return TileLayout(
+        frame_width=frame_width,
+        frame_height=frame_height,
+        row_heights=_sizes_from_cuts(row_cuts, frame_height),
+        column_widths=_sizes_from_cuts(column_cuts, frame_width),
+    )
+
+
+# ----------------------------------------------------------------------
+# Cut selection
+# ----------------------------------------------------------------------
+def _fine_cuts(
+    spans: Sequence[tuple[float, float]],
+    extent: int,
+    min_size: int,
+    block_size: int,
+) -> list[int]:
+    """Interior cut positions for fine-grained tiling along one axis.
+
+    The merged projections of the boxes onto the axis form "occupied"
+    intervals; any position outside every occupied interval is a legal cut.
+    We cut at both edges of every occupied interval (snapped to blocks) so
+    that each cluster of objects is isolated as tightly as possible, then
+    enforce the minimum tile size by dropping cuts greedily.
+    """
+    merged = merge_intervals(spans)
+    candidates: set[int] = set()
+    for low, high in merged:
+        candidates.add(_snap_down(low, block_size))
+        candidates.add(_snap_up(high, block_size))
+    legal = [
+        cut
+        for cut in sorted(candidates)
+        if 0 < cut < extent and not _cut_intersects(cut, merged)
+    ]
+    return _enforce_min_size(legal, extent, min_size)
+
+
+def _coarse_cuts(
+    spans: Sequence[tuple[float, float]],
+    extent: int,
+    min_size: int,
+    block_size: int,
+) -> list[int]:
+    """Interior cut positions for coarse-grained tiling along one axis.
+
+    Only the outer extent of the union of all boxes generates cuts, so all
+    boxes end up inside one large middle tile.
+    """
+    merged = merge_intervals(spans)
+    low = _snap_down(min(interval[0] for interval in merged), block_size)
+    high = _snap_up(max(interval[1] for interval in merged), block_size)
+    legal = [
+        cut
+        for cut in (low, high)
+        if 0 < cut < extent and not _cut_intersects(cut, merged)
+    ]
+    return _enforce_min_size(sorted(set(legal)), extent, min_size)
+
+
+def _cut_intersects(cut: int, occupied: Sequence[tuple[float, float]]) -> bool:
+    """True when a cut position falls strictly inside an occupied interval."""
+    return any(low < cut < high for low, high in occupied)
+
+
+def _enforce_min_size(cuts: list[int], extent: int, min_size: int) -> list[int]:
+    """Drop cuts so that every resulting segment is at least ``min_size``."""
+    accepted: list[int] = []
+    previous = 0
+    for cut in cuts:
+        if cut - previous >= min_size and extent - cut >= min_size:
+            accepted.append(cut)
+            previous = cut
+    return accepted
+
+
+def _sizes_from_cuts(cuts: Sequence[int], extent: int) -> tuple[int, ...]:
+    edges = [0, *cuts, extent]
+    sizes = tuple(b - a for a, b in zip(edges, edges[1:]))
+    if any(size <= 0 for size in sizes):
+        raise LayoutError(f"cut positions {cuts} produce a non-positive tile size")
+    return sizes
+
+
+def _snap_down(value: float, block_size: int) -> int:
+    return int(value // block_size) * block_size
+
+
+def _snap_up(value: float, block_size: int) -> int:
+    return int(-(-value // block_size)) * block_size

@@ -1,0 +1,43 @@
+"""Workload generation and execution (Section 5.3 of the paper).
+
+:mod:`generators` builds Workloads 1–6 — the query mixes, start-frame
+distributions, and video classes the paper evaluates the tiling strategies
+on — scaled to the synthetic stand-in videos.  :mod:`runner` executes a
+workload under a tiling strategy, charging decode and re-tiling costs per
+query and normalising to the untiled baseline exactly as Figure 11 and
+Table 2 do.
+"""
+
+from .generators import (
+    WorkloadSpec,
+    workload_1,
+    workload_2,
+    workload_3,
+    workload_4,
+    workload_5,
+    workload_6,
+    all_workloads,
+)
+from .runner import (
+    ModelledEngine,
+    MeasuredEngine,
+    StrategyRunResult,
+    WorkloadRunner,
+    default_strategies,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "workload_1",
+    "workload_2",
+    "workload_3",
+    "workload_4",
+    "workload_5",
+    "workload_6",
+    "all_workloads",
+    "ModelledEngine",
+    "MeasuredEngine",
+    "StrategyRunResult",
+    "WorkloadRunner",
+    "default_strategies",
+]

@@ -1,0 +1,269 @@
+"""Generators for the paper's six evaluation workloads (Section 5.3).
+
+Each workload is defined by (a) which videos it runs on, (b) the mix of
+object classes queried, (c) the distribution of query start frames, and
+(d) how long each query's temporal window is.  The paper's windows are one
+minute (Workloads 1–4) or one second (Workloads 5–6) over multi-minute
+videos; the generators scale the window to a fraction of the stand-in video
+so the *structure* (how many SOTs each query touches, how much of the video
+is ever queried) is preserved.
+
+| Workload | Videos        | Objects                           | Start frames      |
+|----------|---------------|-----------------------------------|-------------------|
+| W1       | Visual Road   | car only                          | uniform           |
+| W2       | Visual Road   | 50% car / 50% person, first 25%   | uniform (clipped) |
+| W3       | Visual Road   | 47.5% car / 47.5% person / 5% traffic light | Zipfian |
+| W4       | Visual Road   | car -> person -> car in thirds    | Zipfian           |
+| W5       | dense scenes  | random primary object per query   | uniform           |
+| W6       | dense scenes  | one object class                  | uniform           |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.query import Query, Workload
+from ..errors import WorkloadError
+from ..video.synthetic import SyntheticVideo
+
+__all__ = [
+    "WorkloadSpec",
+    "workload_1",
+    "workload_2",
+    "workload_3",
+    "workload_4",
+    "workload_5",
+    "workload_6",
+    "all_workloads",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A generated workload plus the context needed to run and report it."""
+
+    workload_id: str
+    description: str
+    video: SyntheticVideo
+    workload: Workload
+
+    @property
+    def query_count(self) -> int:
+        return len(self.workload)
+
+
+# ----------------------------------------------------------------------
+# Start-frame distributions
+# ----------------------------------------------------------------------
+def _uniform_starts(
+    rng: np.random.Generator, count: int, max_start: int
+) -> list[int]:
+    if max_start <= 0:
+        return [0] * count
+    return [int(value) for value in rng.integers(0, max_start + 1, size=count)]
+
+
+def _zipf_starts(
+    rng: np.random.Generator, count: int, max_start: int, exponent: float = 1.2
+) -> list[int]:
+    """Zipfian start frames biased toward the beginning of the video."""
+    if max_start <= 0:
+        return [0] * count
+    positions = np.arange(1, max_start + 2, dtype=np.float64)
+    weights = positions ** (-exponent)
+    weights /= weights.sum()
+    return [int(value) for value in rng.choice(max_start + 1, size=count, p=weights)]
+
+
+def _window_frames(video: SyntheticVideo, window_fraction: float) -> int:
+    frames = max(int(video.frame_count * window_fraction), 1)
+    return min(frames, video.frame_count)
+
+
+def _build_queries(
+    video: SyntheticVideo,
+    labels: Sequence[str],
+    starts: Sequence[int],
+    window_frames: int,
+) -> Workload:
+    queries = []
+    for label, start in zip(labels, starts, strict=True):
+        stop = min(start + window_frames, video.frame_count)
+        start = max(min(start, stop - 1), 0)
+        queries.append(Query.select_range(label, video.name, start, stop))
+    return Workload.from_queries(f"{video.name}-workload", queries)
+
+
+# ----------------------------------------------------------------------
+# Workloads 1-4: Visual Road style (sparse objects)
+# ----------------------------------------------------------------------
+def workload_1(
+    video: SyntheticVideo,
+    query_count: int = 100,
+    window_fraction: float = 0.1,
+    seed: int = 1001,
+) -> WorkloadSpec:
+    """W1: every query asks for cars; starts are uniform over the video."""
+    rng = np.random.default_rng(seed)
+    window = _window_frames(video, window_fraction)
+    starts = _uniform_starts(rng, query_count, video.frame_count - window)
+    labels = ["car"] * query_count
+    return WorkloadSpec(
+        workload_id="W1",
+        description="100 queries for cars, uniformly distributed starts",
+        video=video,
+        workload=_build_queries(video, labels, starts, window),
+    )
+
+
+def workload_2(
+    video: SyntheticVideo,
+    query_count: int = 100,
+    window_fraction: float = 0.1,
+    restricted_fraction: float = 0.25,
+    seed: int = 1002,
+) -> WorkloadSpec:
+    """W2: 50/50 car/person queries restricted to the first 25% of the video."""
+    rng = np.random.default_rng(seed)
+    window = _window_frames(video, window_fraction)
+    restricted_frames = max(int(video.frame_count * restricted_fraction), window)
+    starts = _uniform_starts(rng, query_count, max(restricted_frames - window, 0))
+    labels = [("car" if rng.random() < 0.5 else "person") for _ in range(query_count)]
+    return WorkloadSpec(
+        workload_id="W2",
+        description="100 car/person queries restricted to the first 25% of the video",
+        video=video,
+        workload=_build_queries(video, labels, starts, window),
+    )
+
+
+def workload_3(
+    video: SyntheticVideo,
+    query_count: int = 100,
+    window_fraction: float = 0.1,
+    rare_label: str = "traffic light",
+    seed: int = 1003,
+) -> WorkloadSpec:
+    """W3: mostly car/person plus a rarely queried class; Zipfian starts."""
+    rng = np.random.default_rng(seed)
+    window = _window_frames(video, window_fraction)
+    starts = _zipf_starts(rng, query_count, video.frame_count - window)
+    labels = []
+    for _ in range(query_count):
+        draw = rng.random()
+        if draw < 0.475:
+            labels.append("car")
+        elif draw < 0.95:
+            labels.append("person")
+        else:
+            labels.append(rare_label)
+    return WorkloadSpec(
+        workload_id="W3",
+        description="47.5% car / 47.5% person / 5% traffic light, Zipfian starts",
+        video=video,
+        workload=_build_queries(video, labels, starts, window),
+    )
+
+
+def workload_4(
+    video: SyntheticVideo,
+    query_count: int = 200,
+    window_fraction: float = 0.1,
+    seed: int = 1004,
+) -> WorkloadSpec:
+    """W4: the query object changes over time (car -> person -> car)."""
+    rng = np.random.default_rng(seed)
+    window = _window_frames(video, window_fraction)
+    starts = _zipf_starts(rng, query_count, video.frame_count - window)
+    third = query_count // 3
+    labels = (
+        ["car"] * third + ["person"] * third + ["car"] * (query_count - 2 * third)
+    )
+    return WorkloadSpec(
+        workload_id="W4",
+        description="200 queries: cars, then people, then cars again; Zipfian starts",
+        video=video,
+        workload=_build_queries(video, labels, starts, window),
+    )
+
+
+# ----------------------------------------------------------------------
+# Workloads 5-6: dense scenes
+# ----------------------------------------------------------------------
+def workload_5(
+    video: SyntheticVideo,
+    query_count: int = 200,
+    window_fraction: float = 0.05,
+    seed: int = 1005,
+) -> WorkloadSpec:
+    """W5: dense scenes, each query picks one of the primary object classes."""
+    labels_available = sorted(video.labels())
+    if not labels_available:
+        raise WorkloadError(f"video {video.name!r} has no labelled objects")
+    rng = np.random.default_rng(seed)
+    window = _window_frames(video, window_fraction)
+    starts = _uniform_starts(rng, query_count, video.frame_count - window)
+    labels = [labels_available[int(rng.integers(0, len(labels_available)))] for _ in range(query_count)]
+    return WorkloadSpec(
+        workload_id="W5",
+        description="200 short queries over dense scenes, random primary object",
+        video=video,
+        workload=_build_queries(video, labels, starts, window),
+    )
+
+
+def workload_6(
+    video: SyntheticVideo,
+    query_count: int = 200,
+    window_fraction: float = 0.05,
+    label: str | None = None,
+    seed: int = 1006,
+) -> WorkloadSpec:
+    """W6: dense scenes, every query targets the same object class."""
+    labels_available = sorted(video.labels())
+    if not labels_available:
+        raise WorkloadError(f"video {video.name!r} has no labelled objects")
+    target = label if label is not None else labels_available[0]
+    if target not in labels_available:
+        raise WorkloadError(f"label {target!r} does not occur in video {video.name!r}")
+    rng = np.random.default_rng(seed)
+    window = _window_frames(video, window_fraction)
+    starts = _uniform_starts(rng, query_count, video.frame_count - window)
+    labels = [target] * query_count
+    return WorkloadSpec(
+        workload_id="W6",
+        description="200 short queries over dense scenes, single object class",
+        video=video,
+        workload=_build_queries(video, labels, starts, window),
+    )
+
+
+def all_workloads(
+    sparse_video: SyntheticVideo,
+    dense_video: SyntheticVideo,
+    query_count_scale: float = 1.0,
+    seed: int = 1000,
+) -> list[WorkloadSpec]:
+    """Build all six workloads against one sparse and one dense video.
+
+    ``query_count_scale`` shrinks the query counts uniformly (e.g. 0.2 turns
+    the 100/200-query workloads into 20/40 queries) so quick benchmark runs
+    stay fast while preserving each workload's structure.
+    """
+    if query_count_scale <= 0:
+        raise WorkloadError("query_count_scale must be positive")
+
+    def scaled(count: int) -> int:
+        return max(int(round(count * query_count_scale)), 3)
+
+    return [
+        workload_1(sparse_video, query_count=scaled(100), seed=seed + 1),
+        workload_2(sparse_video, query_count=scaled(100), seed=seed + 2),
+        workload_3(sparse_video, query_count=scaled(100), seed=seed + 3),
+        workload_4(sparse_video, query_count=scaled(200), seed=seed + 4),
+        workload_5(dense_video, query_count=scaled(200), seed=seed + 5),
+        workload_6(dense_video, query_count=scaled(200), seed=seed + 6),
+    ]

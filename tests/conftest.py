@@ -1,0 +1,157 @@
+"""Shared fixtures for the test suite.
+
+Tests run against deliberately tiny videos (around 128x96 pixels, a couple of
+seconds) and a codec configured with small blocks and short GOPs, so the whole
+suite exercises real encode/decode paths while staying fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CodecConfig, TasmConfig
+from repro.video.synthetic import (
+    LinearMotion,
+    ObjectTrack,
+    OscillatingMotion,
+    SceneSpec,
+    StationaryMotion,
+    SyntheticVideo,
+)
+
+
+@pytest.fixture
+def codec_config() -> CodecConfig:
+    """A small-block, short-GOP codec configuration suitable for tiny videos."""
+    return CodecConfig(
+        gop_frames=5,
+        frame_rate=5,
+        block_size=8,
+        min_tile_width=16,
+        min_tile_height=16,
+    )
+
+
+@pytest.fixture
+def config(codec_config: CodecConfig) -> TasmConfig:
+    return TasmConfig(codec=codec_config)
+
+
+def build_tiny_video(
+    name: str = "tiny-traffic",
+    width: int = 128,
+    height: int = 96,
+    frame_count: int = 15,
+    frame_rate: int = 5,
+    seed: int = 3,
+    camera_pan: float = 0.0,
+) -> SyntheticVideo:
+    """A small scene with one car, one person, and one stationary sign."""
+    tracks = [
+        ObjectTrack(
+            label="car",
+            width=32,
+            height=16,
+            motion=LinearMotion(
+                start_x=4.0,
+                start_y=40.0,
+                velocity_x=2.0,
+                velocity_y=0.0,
+                frame_width=width,
+                frame_height=height,
+            ),
+            intensity=220,
+        ),
+        ObjectTrack(
+            label="person",
+            width=10,
+            height=22,
+            motion=OscillatingMotion(
+                center_x=width * 0.75,
+                center_y=height * 0.75,
+                amplitude_x=12.0,
+                amplitude_y=4.0,
+                period_frames=20.0,
+            ),
+            intensity=180,
+        ),
+        ObjectTrack(
+            label="sign",
+            width=8,
+            height=12,
+            motion=StationaryMotion(x=8.0, y=8.0),
+            intensity=240,
+        ),
+    ]
+    spec = SceneSpec(
+        name=name,
+        width=width,
+        height=height,
+        frame_count=frame_count,
+        frame_rate=frame_rate,
+        tracks=tracks,
+        noise_sigma=1.0,
+        camera_pan_per_frame=camera_pan,
+        seed=seed,
+    )
+    return SyntheticVideo(spec)
+
+
+@pytest.fixture
+def tiny_video() -> SyntheticVideo:
+    return build_tiny_video()
+
+
+@pytest.fixture
+def dense_video() -> SyntheticVideo:
+    """A scene whose objects cover most of every frame (a crowded market).
+
+    Coverage is far above the 20% sparse/dense threshold and the objects
+    reach close to every frame edge, so no tile layout can skip enough pixels
+    to satisfy the alpha usefulness rule — the regime where the paper finds
+    tiling counterproductive.
+    """
+    width, height = 128, 96
+    # Motion models report the object's top-left corner; place one large
+    # person in each quadrant so their union reaches every frame edge.
+    quadrant_corners = [(0.0, 0.0), (62.0, 0.0), (0.0, 46.0), (62.0, 46.0)]
+    tracks = [
+        ObjectTrack(
+            label="person",
+            width=66,
+            height=50,
+            motion=OscillatingMotion(
+                center_x=corner_x,
+                center_y=corner_y,
+                amplitude_x=3.0,
+                amplitude_y=2.0,
+                period_frames=18.0,
+                phase=index,
+            ),
+            intensity=190,
+        )
+        for index, (corner_x, corner_y) in enumerate(quadrant_corners)
+    ]
+    spec = SceneSpec(
+        name="tiny-crowd",
+        width=width,
+        height=height,
+        frame_count=15,
+        frame_rate=5,
+        tracks=tracks,
+        noise_sigma=1.0,
+        seed=9,
+    )
+    return SyntheticVideo(spec)
+
+
+@pytest.fixture
+def flat_frames() -> list[np.ndarray]:
+    """Ten simple gradient frames used by codec-level tests."""
+    frames = []
+    base = np.tile(np.arange(64, dtype=np.uint8), (48, 1))
+    for index in range(10):
+        frame = np.clip(base.astype(np.int16) + index * 2, 0, 255).astype(np.uint8)
+        frames.append(frame)
+    return frames

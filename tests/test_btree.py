@@ -1,0 +1,127 @@
+"""Tests for the from-scratch B-tree (repro.index.btree)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.index.btree import BTree
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree: BTree[int, str] = BTree()
+        assert len(tree) == 0
+        assert tree.get(1) == []
+        assert 1 not in tree
+        assert list(tree.items()) == []
+
+    def test_insert_and_get(self):
+        tree: BTree[int, str] = BTree()
+        tree.insert(5, "five")
+        tree.insert(3, "three")
+        tree.insert(8, "eight")
+        assert tree.get(3) == ["three"]
+        assert tree.get(5) == ["five"]
+        assert 8 in tree
+        assert len(tree) == 3
+
+    def test_duplicate_keys_accumulate_in_order(self):
+        tree: BTree[int, str] = BTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        tree.insert(1, "c")
+        assert tree.get(1) == ["a", "b", "c"]
+        assert len(tree) == 3
+
+    def test_order_validation(self):
+        with pytest.raises(IndexError_):
+            BTree(order=2)
+
+
+class TestRangeScans:
+    def build(self) -> BTree[int, int]:
+        tree: BTree[int, int] = BTree(order=4)
+        for key in range(100):
+            tree.insert(key, key * 10)
+        return tree
+
+    def test_full_scan_is_sorted(self):
+        tree = self.build()
+        keys = [key for key, _ in tree.items()]
+        assert keys == sorted(keys)
+        assert len(keys) == 100
+
+    def test_bounded_range(self):
+        tree = self.build()
+        results = list(tree.range(10, 20))
+        assert [key for key, _ in results] == list(range(10, 20))
+        assert [value for _, value in results] == [key * 10 for key in range(10, 20)]
+
+    def test_open_ended_ranges(self):
+        tree = self.build()
+        assert [key for key, _ in tree.range(None, 5)] == [0, 1, 2, 3, 4]
+        assert [key for key, _ in tree.range(95, None)] == [95, 96, 97, 98, 99]
+
+    def test_empty_range(self):
+        tree = self.build()
+        assert list(tree.range(50, 50)) == []
+        assert list(tree.range(200, 300)) == []
+
+    def test_tuple_keys(self):
+        tree: BTree[tuple, str] = BTree(order=4)
+        tree.insert(("video", "car", 5), "a")
+        tree.insert(("video", "car", 1), "b")
+        tree.insert(("video", "person", 3), "c")
+        results = list(tree.range(("video", "car", 0), ("video", "car", 10)))
+        assert [key for key, _ in results] == [("video", "car", 1), ("video", "car", 5)]
+
+
+class TestStructuralInvariants:
+    def test_splits_keep_height_balanced(self):
+        tree: BTree[int, int] = BTree(order=4)
+        for key in range(500):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert tree.height > 1
+
+    def test_reverse_and_shuffled_insertions(self):
+        import random
+
+        for ordering in (range(200), reversed(range(200)), random.Random(1).sample(range(200), 200)):
+            tree: BTree[int, int] = BTree(order=5)
+            for key in ordering:
+                tree.insert(key, key)
+            tree.check_invariants()
+            assert [key for key, _ in tree.items()] == list(range(200))
+
+
+# ----------------------------------------------------------------------
+# Property-based comparison against a reference dict
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=-1000, max_value=1000), st.integers()),
+        max_size=200,
+    ),
+    st.integers(min_value=3, max_value=16),
+)
+def test_btree_matches_reference_multimap(pairs, order):
+    tree: BTree[int, int] = BTree(order=order)
+    reference: dict[int, list[int]] = {}
+    for key, value in pairs:
+        tree.insert(key, value)
+        reference.setdefault(key, []).append(value)
+
+    tree.check_invariants()
+    assert len(tree) == sum(len(values) for values in reference.values())
+
+    expected = [
+        (key, value) for key in sorted(reference) for value in reference[key]
+    ]
+    assert list(tree.items()) == expected
+
+    for key in list(reference)[:10]:
+        assert tree.get(key) == reference[key]

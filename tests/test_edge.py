@@ -1,0 +1,98 @@
+"""Tests for the edge-camera extension (repro.core.edge)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.edge import EdgeCamera
+from repro.core.tasm import TASM
+from repro.detection import (
+    BackgroundSubtractionDetector,
+    GroundTruthDetector,
+    SimulatedYoloV3,
+)
+
+
+@pytest.fixture
+def camera(config) -> EdgeCamera:
+    return EdgeCamera(detector=GroundTruthDetector(seconds_per_frame=0.01), detect_every=1, config=config)
+
+
+class TestEdgeProcessing:
+    def test_detections_filtered_to_target_objects(self, camera, tiny_video):
+        result = camera.process(tiny_video, target_objects={"car"})
+        assert result.detections
+        assert {d.label for d in result.detections} == {"car"}
+        assert result.target_objects == {"car"}
+
+    def test_empty_target_set_keeps_everything(self, camera, tiny_video):
+        result = camera.process(tiny_video, target_objects=set())
+        assert {d.label for d in result.detections} == {"car", "person", "sign"}
+
+    def test_layouts_cover_sots_with_objects(self, camera, tiny_video):
+        result = camera.process(tiny_video, target_objects={"car"})
+        # The car is present throughout the video, so every SOT gets a layout.
+        assert set(result.layouts) == {0, 1, 2}
+        assert all(not layout.is_untiled for layout in result.layouts.values())
+
+    def test_detection_cost_scales_with_sampling(self, config, tiny_video):
+        every_frame = EdgeCamera(GroundTruthDetector(seconds_per_frame=0.1), detect_every=1, config=config)
+        sampled = EdgeCamera(GroundTruthDetector(seconds_per_frame=0.1), detect_every=5, config=config)
+        full_cost = every_frame.process(tiny_video, {"car"}).detection_seconds
+        sampled_cost = sampled.process(tiny_video, {"car"}).detection_seconds
+        assert sampled_cost < full_cost
+
+    def test_sampled_detection_still_produces_layouts(self, config, tiny_video):
+        camera = EdgeCamera(SimulatedYoloV3(), detect_every=5, config=config)
+        result = camera.process(tiny_video, target_objects={"car"})
+        assert result.layouts, "sampling plus interpolation should still tile the video"
+        # Interpolation fills frames between samples.
+        frames_with_boxes = {d.frame_index for d in result.detections}
+        assert len(frames_with_boxes) > tiny_video.frame_count // 5
+
+    def test_background_subtraction_on_static_camera(self, config, tiny_video):
+        camera = EdgeCamera(BackgroundSubtractionDetector(), detect_every=1, config=config)
+        result = camera.process(tiny_video, target_objects=set())
+        # Blobs carry the generic "foreground" label, so targeting specific
+        # classes yields nothing — one of the weaknesses the paper reports.
+        targeted = camera.process(tiny_video, target_objects={"car"})
+        assert result.detections
+        assert targeted.detections == []
+
+
+class TestIngestIntoTasm:
+    def test_pre_tiled_video_and_index_are_loaded(self, camera, config, tiny_video):
+        result = camera.process(tiny_video, target_objects={"car"})
+        tasm = TASM(config=config)
+        camera.ingest_into(tasm, tiny_video, result)
+        tiled = tasm.video(tiny_video.name)
+        assert not tiled.layout_for(0).is_untiled
+        assert tasm.semantic_index.count(tiny_video.name) == len(result.detections)
+        # The first query already benefits: fewer pixels than full frames.
+        scan = tasm.scan(tiny_video.name, "car")
+        untiled_pixels = tiny_video.width * tiny_video.height * tiny_video.frame_count
+        assert scan.pixels_decoded < untiled_pixels
+
+
+class TestUploadPlan:
+    def test_only_object_tiles_are_uploaded(self, camera, tiny_video):
+        result = camera.process(tiny_video, target_objects={"car"})
+        plan = camera.upload_plan(tiny_video, result)
+        assert set(plan) == set(result.layouts)
+        for sot_index, tile_indices in plan.items():
+            layout = result.layouts[sot_index]
+            assert len(tile_indices) <= layout.tile_count
+            assert all(0 <= index < layout.tile_count for index in tile_indices)
+        # At least one SOT should skip at least one tile (that is the point).
+        assert any(
+            len(plan[sot]) < result.layouts[sot].tile_count for sot in plan
+        )
+
+    def test_full_upload_when_streaming_everything(self, config, tiny_video):
+        camera = EdgeCamera(
+            GroundTruthDetector(), detect_every=1, stream_only_object_tiles=False, config=config
+        )
+        result = camera.process(tiny_video, target_objects={"car"})
+        plan = camera.upload_plan(tiny_video, result)
+        for sot_index, tile_indices in plan.items():
+            assert list(tile_indices) == list(range(result.layouts[sot_index].tile_count))

@@ -1,0 +1,127 @@
+"""Tests for repro.video.frame, repro.video.video, and repro.video.gop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GeometryError, StorageError
+from repro.geometry import Rectangle
+from repro.video.frame import Frame
+from repro.video.gop import GopStructure, gop_index_for_frame, gop_ranges
+from repro.video.video import Video, VideoMetadata
+
+
+class TestFrame:
+    def test_blank_frame(self):
+        frame = Frame.blank(3, width=20, height=10, value=7)
+        assert frame.width == 20
+        assert frame.height == 10
+        assert frame.pixel_count == 200
+        assert int(frame.pixels[0, 0]) == 7
+        assert frame.bounds == Rectangle(0, 0, 20, 10)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(GeometryError):
+            Frame(0, np.zeros((4, 4, 3), dtype=np.uint8))
+
+    def test_coerces_dtype(self):
+        frame = Frame(0, np.zeros((4, 4), dtype=np.float64))
+        assert frame.pixels.dtype == np.uint8
+
+    def test_crop(self):
+        frame = Frame(0, np.arange(100, dtype=np.uint8).reshape(10, 10))
+        cropped = frame.crop(Rectangle(2, 3, 5, 6))
+        assert cropped.shape == (3, 3)
+        assert cropped[0, 0] == frame.pixels[3, 2]
+
+    def test_crop_outside_returns_empty(self):
+        frame = Frame.blank(0, 10, 10)
+        assert frame.crop(Rectangle(20, 20, 30, 30)).size == 0
+
+    def test_with_region_replaces_pixels(self):
+        frame = Frame.blank(0, 10, 10)
+        updated = frame.with_region(Rectangle(2, 2, 4, 4), np.full((2, 2), 9, dtype=np.uint8))
+        assert int(updated.pixels[2, 2]) == 9
+        assert int(frame.pixels[2, 2]) == 0  # original untouched
+
+    def test_with_region_shape_mismatch(self):
+        frame = Frame.blank(0, 10, 10)
+        with pytest.raises(GeometryError):
+            frame.with_region(Rectangle(0, 0, 3, 3), np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestVideoMetadata:
+    def test_duration_and_pixels(self):
+        metadata = VideoMetadata("v", width=100, height=50, frame_count=250, frame_rate=25)
+        assert metadata.duration_seconds == 10.0
+        assert metadata.pixels_per_frame == 5000
+
+    def test_resolution_labels(self):
+        assert VideoMetadata("a", 3840, 2160, 10).resolution_label == "4K"
+        assert VideoMetadata("b", 1920, 1080, 10).resolution_label == "2K"
+        assert VideoMetadata("c", 1280, 720, 10).resolution_label == "720p"
+        assert VideoMetadata("d", 640, 480, 10).resolution_label == "640x480"
+
+    def test_rejects_invalid(self):
+        with pytest.raises(StorageError):
+            VideoMetadata("v", 0, 10, 10)
+        with pytest.raises(StorageError):
+            VideoMetadata("v", 10, 10, 0)
+
+
+class TestVideo:
+    def test_from_frames_and_access(self):
+        frames = [np.full((8, 12), value, dtype=np.uint8) for value in range(5)]
+        video = Video.from_frames("clip", frames, frame_rate=5)
+        assert video.frame_count == 5
+        assert video.frame(2).pixels[0, 0] == 2
+        assert [frame.index for frame in video.frames(1, 4)] == [1, 2, 3]
+
+    def test_out_of_range_frame(self):
+        video = Video.from_frames("clip", [np.zeros((4, 4), dtype=np.uint8)])
+        with pytest.raises(StorageError):
+            video.frame(1)
+        with pytest.raises(StorageError):
+            video.frame(-1)
+
+    def test_empty_frame_list_rejected(self):
+        with pytest.raises(StorageError):
+            Video.from_frames("clip", [])
+
+    def test_frame_source_shape_validated(self):
+        metadata = VideoMetadata("bad", width=8, height=8, frame_count=2)
+        video = Video(metadata, lambda index: np.zeros((4, 4), dtype=np.uint8))
+        with pytest.raises(StorageError):
+            video.frame(0)
+
+
+class TestGopHelpers:
+    def test_gop_index_for_frame(self):
+        assert gop_index_for_frame(0, 10) == 0
+        assert gop_index_for_frame(9, 10) == 0
+        assert gop_index_for_frame(10, 10) == 1
+
+    def test_gop_index_validation(self):
+        with pytest.raises(ConfigurationError):
+            gop_index_for_frame(5, 0)
+        with pytest.raises(ConfigurationError):
+            gop_index_for_frame(-1, 10)
+
+    def test_gop_ranges_cover_video(self):
+        ranges = gop_ranges(25, 10)
+        assert ranges == [(0, 10), (10, 20), (20, 25)]
+
+    def test_gop_structure(self):
+        structure = GopStructure(frame_count=25, gop_frames=10)
+        assert structure.gop_count == 3
+        assert structure.frame_range(2) == (20, 25)
+        assert structure.keyframe_of(1) == 10
+        assert structure.gops_for_frames(5, 15) == [0, 1]
+        assert structure.gops_for_frames(15, 15) == []
+        assert list(structure) == [(0, 10), (10, 20), (20, 25)]
+
+    def test_gop_structure_out_of_range(self):
+        structure = GopStructure(frame_count=10, gop_frames=10)
+        with pytest.raises(ConfigurationError):
+            structure.frame_range(1)

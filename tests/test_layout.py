@@ -1,0 +1,185 @@
+"""Tests for tile layouts (repro.tiles.layout)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.geometry import Rectangle
+from repro.tiles.layout import TileLayout, VideoLayoutSpec, uniform_layout, untiled_layout
+
+
+class TestTileLayoutValidation:
+    def test_row_heights_must_sum_to_frame(self):
+        with pytest.raises(LayoutError):
+            TileLayout(100, 100, (40, 40), (50, 50))
+
+    def test_column_widths_must_sum_to_frame(self):
+        with pytest.raises(LayoutError):
+            TileLayout(100, 100, (50, 50), (40, 40))
+
+    def test_positive_sizes_required(self):
+        with pytest.raises(LayoutError):
+            TileLayout(100, 100, (0, 100), (100,))
+
+    def test_at_least_one_row_and_column(self):
+        with pytest.raises(LayoutError):
+            TileLayout(100, 100, (), (100,))
+
+
+class TestTileLayoutGeometry:
+    def test_untiled_layout(self):
+        layout = untiled_layout(320, 200)
+        assert layout.is_untiled
+        assert layout.tile_count == 1
+        assert layout.tile_rectangles() == [Rectangle(0, 0, 320, 200)]
+        assert layout.describe() == "untiled"
+
+    def test_tile_rectangles_cover_frame_without_overlap(self):
+        layout = TileLayout(100, 60, (20, 40), (30, 30, 40))
+        rectangles = layout.tile_rectangles()
+        assert len(rectangles) == 6
+        assert sum(r.area for r in rectangles) == 100 * 60
+        for i, a in enumerate(rectangles):
+            for b in rectangles[i + 1 :]:
+                assert not a.intersects(b)
+
+    def test_tile_index_round_trip(self):
+        layout = TileLayout(100, 60, (20, 40), (30, 30, 40))
+        for row in range(layout.rows):
+            for column in range(layout.columns):
+                index = layout.tile_index(row, column)
+                assert layout.tile_position(index) == (row, column)
+
+    def test_tile_containing_point(self):
+        layout = TileLayout(100, 60, (20, 40), (30, 30, 40))
+        assert layout.tile_containing_point(0, 0) == 0
+        assert layout.tile_containing_point(35, 25) == layout.tile_index(1, 1)
+        assert layout.tile_containing_point(99, 59) == layout.tile_index(1, 2)
+        with pytest.raises(LayoutError):
+            layout.tile_containing_point(100, 0)
+
+    def test_tiles_intersecting(self):
+        layout = TileLayout(100, 60, (20, 40), (30, 30, 40))
+        assert layout.tiles_intersecting(Rectangle(0, 0, 10, 10)) == [0]
+        spanning = layout.tiles_intersecting(Rectangle(25, 15, 65, 45))
+        assert spanning == [0, 1, 2, 3, 4, 5]
+        assert layout.tiles_intersecting(Rectangle(200, 200, 300, 300)) == []
+
+    def test_pixels_decoded_for(self):
+        layout = TileLayout(100, 60, (20, 40), (30, 30, 40))
+        # A box fully inside tile (0, 0) costs that tile's whole area.
+        assert layout.pixels_decoded_for([Rectangle(1, 1, 5, 5)]) == 30 * 20
+        # Two boxes in the same tile are not double counted.
+        assert layout.pixels_decoded_for(
+            [Rectangle(1, 1, 5, 5), Rectangle(10, 10, 15, 15)]
+        ) == 30 * 20
+
+    def test_boundary_length(self):
+        layout = TileLayout(100, 60, (20, 40), (30, 30, 40))
+        assert layout.boundary_length() == 1 * 100 + 2 * 60
+        assert untiled_layout(100, 60).boundary_length() == 0
+
+    def test_describe_uniform_vs_non_uniform(self):
+        assert "uniform" in TileLayout(100, 60, (30, 30), (50, 50)).describe()
+        assert "non-uniform" in TileLayout(100, 60, (20, 40), (50, 50)).describe()
+
+
+class TestUniformLayout:
+    def test_equal_split(self):
+        layout = uniform_layout(120, 90, rows=3, columns=4)
+        assert layout.rows == 3
+        assert layout.columns == 4
+        assert sum(layout.row_heights) == 90
+        assert sum(layout.column_widths) == 120
+
+    def test_block_snapping(self):
+        layout = uniform_layout(100, 100, rows=3, columns=3, block_size=16)
+        # All but the last row/column are multiples of the block size.
+        assert all(height % 16 == 0 for height in layout.row_heights[:-1])
+        assert all(width % 16 == 0 for width in layout.column_widths[:-1])
+        assert sum(layout.row_heights) == 100
+
+    def test_too_many_tiles_rejected(self):
+        with pytest.raises(LayoutError):
+            uniform_layout(10, 10, rows=20, columns=2)
+
+    def test_invalid_counts(self):
+        with pytest.raises(LayoutError):
+            uniform_layout(100, 100, rows=0, columns=2)
+
+
+class TestVideoLayoutSpec:
+    def make_spec(self) -> VideoLayoutSpec:
+        return VideoLayoutSpec(frame_width=64, frame_height=48, frame_count=23, sot_frames=5)
+
+    def test_sot_count_and_ranges(self):
+        spec = self.make_spec()
+        assert spec.sot_count == 5
+        assert spec.frame_range(0) == (0, 5)
+        assert spec.frame_range(4) == (20, 23)
+
+    def test_sot_of_frame(self):
+        spec = self.make_spec()
+        assert spec.sot_of_frame(0) == 0
+        assert spec.sot_of_frame(22) == 4
+        with pytest.raises(LayoutError):
+            spec.sot_of_frame(23)
+
+    def test_sots_for_frames(self):
+        spec = self.make_spec()
+        assert spec.sots_for_frames(3, 12) == [0, 1, 2]
+        assert spec.sots_for_frames(10, 10) == []
+        assert spec.sots_for_frames(-5, 100) == [0, 1, 2, 3, 4]
+
+    def test_default_layout_is_untiled(self):
+        spec = self.make_spec()
+        assert spec.layout_for(2).is_untiled
+        assert spec.tiled_sots() == []
+
+    def test_set_layout(self):
+        spec = self.make_spec()
+        layout = TileLayout(64, 48, (24, 24), (32, 32))
+        spec.set_layout(1, layout)
+        assert spec.layout_for(1) == layout
+        assert spec.tiled_sots() == [1]
+
+    def test_set_layout_dimension_mismatch(self):
+        spec = self.make_spec()
+        with pytest.raises(LayoutError):
+            spec.set_layout(0, TileLayout(100, 48, (48,), (100,)))
+
+    def test_set_layout_out_of_range(self):
+        spec = self.make_spec()
+        with pytest.raises(LayoutError):
+            spec.set_layout(10, untiled_layout(64, 48))
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+@st.composite
+def layouts(draw):
+    row_heights = draw(st.lists(st.integers(min_value=4, max_value=64), min_size=1, max_size=5))
+    column_widths = draw(st.lists(st.integers(min_value=4, max_value=64), min_size=1, max_size=5))
+    return TileLayout(sum(column_widths), sum(row_heights), tuple(row_heights), tuple(column_widths))
+
+
+@given(layouts())
+def test_pixel_conservation(layout: TileLayout):
+    """Tiles partition the frame exactly: areas sum to the frame area."""
+    assert sum(r.area for r in layout.tile_rectangles()) == layout.frame_pixels
+
+
+@given(layouts(), st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=200))
+def test_every_point_belongs_to_exactly_one_tile(layout: TileLayout, x: int, y: int):
+    if x >= layout.frame_width or y >= layout.frame_height:
+        return
+    containing = [
+        index
+        for index, rectangle in enumerate(layout.tile_rectangles())
+        if rectangle.contains_point(x, y)
+    ]
+    assert len(containing) == 1
+    assert containing[0] == layout.tile_containing_point(x, y)

@@ -1,0 +1,60 @@
+"""Tests for repro.video.quality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.video.frame import Frame
+from repro.video.quality import INFINITE_PSNR, average_psnr, mse, psnr
+
+
+class TestMse:
+    def test_identical_is_zero(self):
+        frame = np.random.default_rng(1).integers(0, 255, (10, 10)).astype(np.uint8)
+        assert mse(frame, frame) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2), dtype=np.uint8)
+        b = np.full((2, 2), 4, dtype=np.uint8)
+        assert mse(a, b) == 16.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GeometryError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestPsnr:
+    def test_identical_frames_capped(self):
+        frame = np.full((8, 8), 42, dtype=np.uint8)
+        assert psnr(frame, frame) == INFINITE_PSNR
+
+    def test_known_value(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = np.full((4, 4), 255, dtype=np.uint8)
+        # MSE = 255^2, so PSNR = 10*log10(255^2/255^2) = 0 dB.
+        assert psnr(a, b) == pytest.approx(0.0)
+
+    def test_more_noise_means_lower_psnr(self):
+        rng = np.random.default_rng(7)
+        reference = rng.integers(0, 255, (32, 32)).astype(np.uint8)
+        small_noise = np.clip(reference + rng.normal(0, 2, reference.shape), 0, 255).astype(np.uint8)
+        large_noise = np.clip(reference + rng.normal(0, 20, reference.shape), 0, 255).astype(np.uint8)
+        assert psnr(reference, small_noise) > psnr(reference, large_noise)
+
+
+class TestAveragePsnr:
+    def test_accepts_frames_and_arrays(self):
+        raster = np.full((8, 8), 10, dtype=np.uint8)
+        frames = [Frame(0, raster), Frame(1, raster)]
+        assert average_psnr(frames, [raster, raster]) == INFINITE_PSNR
+
+    def test_requires_equal_lengths(self):
+        raster = np.zeros((4, 4), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            average_psnr([raster], [raster, raster])
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            average_psnr([], [])

@@ -1,0 +1,76 @@
+"""Tests for regret accounting (repro.core.regret)."""
+
+from __future__ import annotations
+
+from repro.core.regret import RegretAccumulator, layout_key
+
+
+class TestLayoutKey:
+    def test_canonical_ordering(self):
+        assert layout_key(["person", "car"]) == ("car", "person")
+        assert layout_key(("car", "car", "person")) == ("car", "person")
+        assert layout_key([]) == ()
+
+    def test_keys_compare_equal_regardless_of_input_order(self):
+        assert layout_key(["a", "b"]) == layout_key(["b", "a"])
+
+
+class TestRegretAccumulator:
+    def test_starts_at_zero(self):
+        regret = RegretAccumulator()
+        entry = regret.ensure_alternative(0, ["car"])
+        assert entry.regret == 0.0
+        assert entry.observations == 0
+        assert regret.regret_of(0, ["car"]) == 0.0
+
+    def test_accumulates_across_queries(self):
+        regret = RegretAccumulator()
+        regret.accumulate(0, ["car"], 2.0)
+        regret.accumulate(0, ["car"], 3.0)
+        regret.accumulate(0, ["car"], -1.0)
+        entry = regret.ensure_alternative(0, ["car"])
+        assert entry.regret == 4.0
+        assert entry.observations == 3
+
+    def test_alternatives_are_per_sot(self):
+        regret = RegretAccumulator()
+        regret.accumulate(0, ["car"], 1.0)
+        regret.accumulate(1, ["car"], 5.0)
+        assert regret.regret_of(0, ["car"]) == 1.0
+        assert regret.regret_of(1, ["car"]) == 5.0
+        assert len(regret.alternatives_for(0)) == 1
+
+    def test_best_alternative(self):
+        regret = RegretAccumulator()
+        regret.accumulate(0, ["car"], 1.0)
+        regret.accumulate(0, ["person"], 4.0)
+        regret.accumulate(0, ["car", "person"], 3.0)
+        best = regret.best_alternative(0)
+        assert best is not None
+        assert best.objects == ("person",)
+        assert regret.best_alternative(5) is None
+
+    def test_exceeding_threshold(self):
+        regret = RegretAccumulator()
+        regret.accumulate(0, ["car"], 1.0)
+        regret.accumulate(0, ["person"], 10.0)
+        over = regret.exceeding_threshold(0, 5.0)
+        assert [entry.objects for entry in over] == [("person",)]
+        assert regret.exceeding_threshold(0, 100.0) == []
+
+    def test_reset_clears_only_that_sot(self):
+        regret = RegretAccumulator()
+        regret.accumulate(0, ["car"], 1.0)
+        regret.accumulate(1, ["car"], 2.0)
+        regret.reset(0)
+        assert regret.alternatives_for(0) == []
+        assert regret.regret_of(1, ["car"]) == 2.0
+        assert regret.total_entries() == 1
+
+    def test_negative_regret_tracks_harmful_layouts(self):
+        """Layouts that would have slowed queries accumulate negative regret."""
+        regret = RegretAccumulator()
+        regret.accumulate(0, ["person"], -2.0)
+        regret.accumulate(0, ["person"], -1.5)
+        assert regret.regret_of(0, ["person"]) == -3.5
+        assert regret.exceeding_threshold(0, 0.0) == []

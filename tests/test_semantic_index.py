@@ -1,0 +1,157 @@
+"""Tests for the semantic index backends (B-tree and SQLite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection.base import Detection
+from repro.errors import IndexError_
+from repro.geometry import BoundingBox
+from repro.index.base import IndexEntry, SemanticIndexProtocol
+from repro.index.semantic_index import BTreeSemanticIndex
+from repro.index.sqlite_index import SqliteSemanticIndex
+
+
+@pytest.fixture(params=["btree", "sqlite"])
+def index(request) -> SemanticIndexProtocol:
+    if request.param == "btree":
+        return BTreeSemanticIndex()
+    return SqliteSemanticIndex()
+
+
+def entry(video="v", label="car", frame=0, box=(0, 0, 10, 10)) -> IndexEntry:
+    return IndexEntry(video=video, label=label, frame_index=frame, box=BoundingBox(*box))
+
+
+class TestAddAndLookup:
+    def test_lookup_by_label(self, index):
+        index.add(entry(label="car", frame=1))
+        index.add(entry(label="car", frame=3))
+        index.add(entry(label="person", frame=2))
+        cars = index.lookup("v", "car")
+        assert len(cars) == 2
+        assert all(item.label == "car" for item in cars)
+
+    def test_lookup_respects_frame_range(self, index):
+        for frame in range(10):
+            index.add(entry(frame=frame))
+        in_range = index.lookup("v", "car", frame_start=3, frame_stop=7)
+        assert sorted(item.frame_index for item in in_range) == [3, 4, 5, 6]
+
+    def test_lookup_unknown_label_is_empty(self, index):
+        index.add(entry())
+        assert index.lookup("v", "bicycle") == []
+
+    def test_lookup_is_scoped_to_video(self, index):
+        index.add(entry(video="a"))
+        index.add(entry(video="b"))
+        assert len(index.lookup("a", "car")) == 1
+
+    def test_negative_frame_rejected(self, index):
+        with pytest.raises(IndexError_):
+            index.add(entry(frame=-1))
+
+    def test_add_detections_bulk(self, index):
+        detections = [
+            Detection(frame_index=i, label="car", box=BoundingBox(0, 0, 5, 5))
+            for i in range(5)
+        ]
+        assert index.add_detections("v", detections) == 5
+        assert index.count("v") == 5
+
+    def test_entries_preserve_boxes_and_confidence(self, index):
+        index.add(
+            IndexEntry(
+                video="v",
+                label="car",
+                frame_index=4,
+                box=BoundingBox(1.5, 2.5, 10.25, 20.75),
+                confidence=0.625,
+            )
+        )
+        stored = index.lookup("v", "car")[0]
+        assert stored.box == BoundingBox(1.5, 2.5, 10.25, 20.75)
+        assert stored.confidence == pytest.approx(0.625)
+
+
+class TestMetadataQueries:
+    def test_labels(self, index):
+        index.add(entry(label="car"))
+        index.add(entry(label="person"))
+        index.add(entry(video="other", label="bird"))
+        assert index.labels("v") == {"car", "person"}
+        assert index.labels("missing") == set()
+
+    def test_frames_with_label(self, index):
+        for frame in (4, 2, 2, 8):
+            index.add(entry(frame=frame))
+        assert index.frames_with_label("v", "car") == [2, 4, 8]
+        assert index.frames_with_label("v", "car", frame_start=3, frame_stop=9) == [4, 8]
+
+    def test_count(self, index):
+        index.add(entry(video="a"))
+        index.add(entry(video="a"))
+        index.add(entry(video="b"))
+        assert index.count("a") == 2
+        assert index.count() == 3
+
+    def test_has_detections_requires_all_labels(self, index):
+        index.add(entry(label="car", frame=5))
+        index.add(entry(label="person", frame=6))
+        assert index.has_detections("v", ["car", "person"], 0, 10)
+        assert not index.has_detections("v", ["car", "bicycle"], 0, 10)
+        assert not index.has_detections("v", ["car"], 6, 10)
+
+
+class TestBackendParity:
+    def test_both_backends_agree(self):
+        """The two backends return the same results for the same inserts."""
+        btree = BTreeSemanticIndex()
+        sqlite = SqliteSemanticIndex()
+        detections = [
+            Detection(frame_index=frame, label=label, box=BoundingBox(frame, 0, frame + 5, 8))
+            for frame in range(20)
+            for label in ("car", "person")
+        ]
+        btree.add_detections("v", detections)
+        sqlite.add_detections("v", detections)
+
+        assert btree.labels("v") == sqlite.labels("v")
+        assert btree.count("v") == sqlite.count("v")
+        for label in ("car", "person"):
+            btree_entries = btree.lookup("v", label, 5, 15)
+            sqlite_entries = sqlite.lookup("v", label, 5, 15)
+            assert [e.frame_index for e in btree_entries] == [e.frame_index for e in sqlite_entries]
+            assert [e.box for e in btree_entries] == [e.box for e in sqlite_entries]
+
+
+class TestSqliteSpecifics:
+    def test_persists_to_file(self, tmp_path):
+        path = tmp_path / "index.sqlite"
+        with SqliteSemanticIndex(path) as index:
+            index.add(entry(frame=7))
+        with SqliteSemanticIndex(path) as reopened:
+            assert reopened.count("v") == 1
+            assert reopened.lookup("v", "car")[0].frame_index == 7
+
+    def test_all_entries_filtering(self):
+        index = SqliteSemanticIndex()
+        index.add(entry(video="a"))
+        index.add(entry(video="b"))
+        assert len(index.all_entries()) == 2
+        assert len(index.all_entries("a")) == 1
+
+
+class TestBTreeSpecifics:
+    def test_invariants_after_many_inserts(self):
+        index = BTreeSemanticIndex(order=8)
+        for frame in range(300):
+            index.add(entry(frame=frame, label="car" if frame % 2 else "person"))
+        index.check_invariants()
+        assert index.count("v") == 300
+
+    def test_index_entry_round_trip(self):
+        detection = Detection(frame_index=3, label="car", box=BoundingBox(0, 0, 4, 4), confidence=0.5)
+        stored = IndexEntry.from_detection("v", detection)
+        assert stored.to_detection() == detection
+        assert stored.key == ("v", "car", 3)

@@ -1,0 +1,169 @@
+"""Tests for the tiled-video storage layer (repro.storage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TasmConfig
+from repro.errors import StorageError, UnknownVideoError
+from repro.storage.catalog import VideoCatalog
+from repro.storage.files import TileFileFormatError, read_tiled_video, write_tiled_video
+from repro.storage.tiled_video import TiledVideo
+from repro.tiles.layout import uniform_layout, untiled_layout
+from repro.video.decoder import RegionRequest, VideoDecoder
+from repro.video.quality import psnr
+from repro.geometry import Rectangle
+
+
+@pytest.fixture
+def tiled(tiny_video, config: TasmConfig) -> TiledVideo:
+    return TiledVideo(video=tiny_video, config=config)
+
+
+class TestTiledVideo:
+    def test_initial_state_is_untiled_and_unmaterialised(self, tiled):
+        assert tiled.sot_count == 3  # 15 frames / 5-frame SOTs
+        assert all(tiled.layout_for(index).is_untiled for index in range(tiled.sot_count))
+        assert not tiled.is_materialised(0)
+        assert tiled.total_size_bytes() == 0
+
+    def test_lazy_encoding_on_access(self, tiled):
+        sot = tiled.encoded_sot(1)
+        assert tiled.is_materialised(1)
+        assert not tiled.is_materialised(0)
+        assert sot.frame_start == 5
+        assert sot.frame_stop == 10
+
+    def test_retile_changes_layout_and_records_work(self, tiled, config):
+        layout = uniform_layout(tiled.video.width, tiled.video.height, 2, 2, config.codec.block_size)
+        record = tiled.retile(0, layout)
+        assert tiled.layout_for(0) == layout
+        assert record.pixels_encoded == tiled.video.width * tiled.video.height * 5
+        assert record.tiles_encoded == 4
+        assert record.encode_seconds > 0
+        assert tiled.retile_history == [record]
+
+    def test_retile_to_same_layout_is_free(self, tiled):
+        layout = untiled_layout(tiled.video.width, tiled.video.height)
+        tiled.encoded_sot(0)
+        record = tiled.retile(0, layout)
+        assert record.bytes_written == 0
+        assert record.encode_seconds == 0.0
+        assert tiled.retile_history == []
+
+    def test_total_size_with_materialise(self, tiled):
+        size = tiled.total_size_bytes(materialise=True)
+        assert size > 0
+        assert all(tiled.is_materialised(index) for index in range(tiled.sot_count))
+
+    def test_storage_summary(self, tiled):
+        tiled.materialise_all()
+        summary = tiled.storage_summary()
+        assert summary["sot_count"] == 3
+        assert 0 < summary["keyframe_bytes"] <= summary["total_bytes"]
+
+    def test_validate_detects_layout_mismatch(self, tiled, config):
+        tiled.encoded_sot(0)
+        tiled.validate()
+        # Corrupt the spec behind the storage layer's back.
+        tiled.layout_spec.set_layout(
+            0, uniform_layout(tiled.video.width, tiled.video.height, 2, 2, config.codec.block_size)
+        )
+        with pytest.raises(StorageError):
+            tiled.validate()
+
+    def test_sots_for_frames(self, tiled):
+        assert tiled.sots_for_frames(0, 6) == [0, 1]
+        assert tiled.frame_range(2) == (10, 15)
+
+
+class TestVideoCatalog:
+    def test_ingest_and_get(self, tiny_video, config):
+        catalog = VideoCatalog(config)
+        tiled = catalog.ingest(tiny_video)
+        assert catalog.get(tiny_video.name) is tiled
+        assert tiny_video.name in catalog
+        assert len(catalog) == 1
+        assert catalog.names() == [tiny_video.name]
+
+    def test_duplicate_ingest_rejected(self, tiny_video, config):
+        catalog = VideoCatalog(config)
+        catalog.ingest(tiny_video)
+        with pytest.raises(UnknownVideoError):
+            catalog.ingest(tiny_video)
+
+    def test_unknown_video(self, config):
+        catalog = VideoCatalog(config)
+        with pytest.raises(UnknownVideoError):
+            catalog.get("missing")
+        with pytest.raises(UnknownVideoError):
+            catalog.remove("missing")
+
+    def test_remove(self, tiny_video, config):
+        catalog = VideoCatalog(config)
+        catalog.ingest(tiny_video)
+        catalog.remove(tiny_video.name)
+        assert tiny_video.name not in catalog
+
+
+class TestOnDiskPersistence:
+    def test_round_trip(self, tiny_video, config, tmp_path):
+        original = TiledVideo(video=tiny_video, config=config)
+        layout = uniform_layout(tiny_video.width, tiny_video.height, 2, 2, config.codec.block_size)
+        original.retile(0, layout)
+        original.encoded_sot(1)  # untiled SOT, also persisted
+
+        video_dir = write_tiled_video(original, tmp_path)
+        assert (video_dir / "manifest.json").exists()
+        assert (video_dir / "frames_0-4" / "tile0.bin").exists()
+        assert (video_dir / "frames_0-4" / "tile3.bin").exists()
+
+        restored = read_tiled_video(tiny_video, tmp_path, config)
+        assert restored.layout_for(0) == layout
+        assert restored.layout_for(1).is_untiled
+        assert restored.is_materialised(0)
+        assert restored.encoded_sot(0).size_bytes == original.encoded_sot(0).size_bytes
+
+        # The restored tiles decode to the same pixels.
+        decoder = VideoDecoder(config.codec)
+        region = Rectangle(0, 0, 64, 48)
+        from_original = decoder.decode_regions(
+            original.encoded_sot(0), [RegionRequest(2, region)]
+        ).regions[0].pixels
+        from_restored = decoder.decode_regions(
+            restored.encoded_sot(0), [RegionRequest(2, region)]
+        ).regions[0].pixels
+        assert (from_original == from_restored).all()
+
+    def test_unmaterialised_sots_are_skipped(self, tiny_video, config, tmp_path):
+        original = TiledVideo(video=tiny_video, config=config)
+        original.encoded_sot(0)
+        write_tiled_video(original, tmp_path)
+        restored = read_tiled_video(tiny_video, tmp_path, config)
+        assert restored.is_materialised(0)
+        assert not restored.is_materialised(2)
+
+    def test_missing_manifest(self, tiny_video, config, tmp_path):
+        with pytest.raises(StorageError):
+            read_tiled_video(tiny_video, tmp_path, config)
+
+    def test_corrupt_tile_file_detected(self, tiny_video, config, tmp_path):
+        original = TiledVideo(video=tiny_video, config=config)
+        original.encoded_sot(0)
+        video_dir = write_tiled_video(original, tmp_path)
+        tile_path = video_dir / "frames_0-4" / "tile0.bin"
+        blob = bytearray(tile_path.read_bytes())
+        blob[8:12] = b"XXXX"  # stomp on the magic number of the first chunk
+        tile_path.write_bytes(bytes(blob))
+        with pytest.raises(TileFileFormatError):
+            read_tiled_video(tiny_video, tmp_path, config)
+
+    def test_quality_preserved_through_disk(self, tiny_video, config, tmp_path):
+        original = TiledVideo(video=tiny_video, config=config)
+        layout = uniform_layout(tiny_video.width, tiny_video.height, 2, 2, config.codec.block_size)
+        original.retile(0, layout)
+        write_tiled_video(original, tmp_path)
+        restored = read_tiled_video(tiny_video, tmp_path, config)
+        decoder = VideoDecoder(config.codec)
+        result = decoder.decode_full_frames(restored.encoded_sot(0), [0])
+        assert psnr(tiny_video.frame(0).pixels, result.regions[0].pixels) > 28.0

@@ -1,0 +1,82 @@
+"""Tests for IoU tracking and detection interpolation (repro.detection.tracking)."""
+
+from __future__ import annotations
+
+from repro.detection.base import Detection
+from repro.detection.tracking import IouTracker, interpolate_detections
+from repro.geometry import BoundingBox
+
+
+def det(frame: int, x: float, label: str = "car", size: float = 20.0) -> Detection:
+    return Detection(frame, label, BoundingBox(x, 10, x + size, 10 + size))
+
+
+class TestIouTracker:
+    def test_single_object_forms_one_track(self):
+        tracker = IouTracker()
+        frames = {frame: [det(frame, 10 + frame * 2)] for frame in range(5)}
+        tracks = tracker.run(frames)
+        assert len(tracks) == 1
+        assert len(tracks[0].detections) == 5
+
+    def test_distant_objects_form_separate_tracks(self):
+        tracker = IouTracker()
+        frames = {0: [det(0, 10), det(0, 200)], 1: [det(1, 12), det(1, 202)]}
+        tracks = tracker.run(frames)
+        assert len(tracks) == 2
+        assert all(len(track.detections) == 2 for track in tracks)
+
+    def test_labels_are_not_mixed(self):
+        tracker = IouTracker()
+        frames = {
+            0: [det(0, 10, "car"), det(0, 12, "person")],
+            1: [det(1, 11, "car"), det(1, 13, "person")],
+        }
+        tracks = tracker.run(frames)
+        assert len(tracks) == 2
+        assert {track.label for track in tracks} == {"car", "person"}
+
+    def test_new_object_mid_sequence(self):
+        tracker = IouTracker()
+        frames = {0: [det(0, 10)], 3: [det(3, 16), det(3, 300)]}
+        tracks = tracker.run(frames)
+        assert len(tracks) == 2
+
+
+class TestInterpolation:
+    def test_fills_skipped_frames(self):
+        sampled = [det(0, 10), det(5, 20)]
+        filled = interpolate_detections(sampled, frame_count=10)
+        frames = sorted({d.frame_index for d in filled})
+        assert frames == [0, 1, 2, 3, 4, 5]
+        # The box at frame 2 should be ~40% of the way between the samples.
+        boxes = {d.frame_index: d.box for d in filled}
+        assert boxes[2].x1 == 10 + (20 - 10) * 2 / 5
+
+    def test_does_not_extrapolate_beyond_samples(self):
+        sampled = [det(3, 10), det(6, 14)]
+        filled = interpolate_detections(sampled, frame_count=20)
+        frames = {d.frame_index for d in filled}
+        assert min(frames) == 3
+        assert max(frames) == 6
+
+    def test_skips_non_overlapping_samples(self):
+        # Samples too far apart to be the same object (likely mis-association):
+        # no interpolated boxes should sweep across the gap.
+        sampled = [det(0, 10), det(5, 500)]
+        filled = interpolate_detections(sampled, frame_count=10)
+        assert {d.frame_index for d in filled} == {0, 5}
+
+    def test_respects_frame_count_bound(self):
+        sampled = [det(0, 10), det(5, 20)]
+        filled = interpolate_detections(sampled, frame_count=3)
+        assert max(d.frame_index for d in filled) <= 2
+
+    def test_original_detections_preserved(self):
+        sampled = [det(0, 10), det(5, 20)]
+        filled = interpolate_detections(sampled, frame_count=10)
+        for original in sampled:
+            assert original in filled
+
+    def test_empty_input(self):
+        assert interpolate_detections([], frame_count=10) == []
