@@ -40,6 +40,7 @@ from .tiles import (
     untiled_layout,
     partition_around_boxes,
 )
+from .exec import BatchResult, CacheStats, QueryExecutor, TileDecodeCache
 from .detection import (
     Detection,
     GroundTruthDetector,
@@ -82,6 +83,10 @@ __all__ = [
     "uniform_layout",
     "untiled_layout",
     "partition_around_boxes",
+    "BatchResult",
+    "CacheStats",
+    "QueryExecutor",
+    "TileDecodeCache",
     "Detection",
     "GroundTruthDetector",
     "SimulatedYoloV3",

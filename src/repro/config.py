@@ -121,6 +121,13 @@ class TasmConfig:
     encode_cost_per_pixel: float = 2.0e-6
     #: Fixed re-encoding cost per tile.
     encode_cost_per_tile: float = 2.0e-3
+    #: Capacity of the persistent tile-decode cache in decoded bytes.  0
+    #: disables the persistent cache, preserving the paper's one-shot scan
+    #: behaviour; batched execution then uses a cache scoped to each batch.
+    decode_cache_bytes: int = 0
+    #: Thread-pool width for the batch executor's per-SOT prefetch fan-out.
+    #: 1 keeps decoding single-threaded.
+    executor_threads: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -137,6 +144,10 @@ class TasmConfig:
                 )
         if self.encode_cost_per_pixel <= 0 or self.encode_cost_per_tile < 0:
             raise ConfigurationError("encode cost coefficients must be positive")
+        if self.decode_cache_bytes < 0:
+            raise ConfigurationError("decode_cache_bytes must be non-negative")
+        if self.executor_threads < 1:
+            raise ConfigurationError("executor_threads must be at least 1")
 
     @property
     def layout_duration_frames(self) -> int:

@@ -63,6 +63,29 @@ class ScanResult:
     def tiles_decoded(self) -> int:
         return self.stats.tiles_decoded
 
+    # ------------------------------------------------------------------
+    # Cache accounting (batched / cache-aware execution, repro.exec)
+    # ------------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        """Tile lookups this scan served from the decode cache."""
+        return self.stats.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Tile lookups that had to decode (cache disabled counts zero)."""
+        return self.stats.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.stats.cache_hits + self.stats.cache_misses
+        return self.stats.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def pixels_served_from_cache(self) -> int:
+        """Decoded-pixel work this scan avoided via cache hits."""
+        return self.stats.pixels_served_from_cache
+
     def regions_on_frame(self, frame_index: int) -> list[ScanRegion]:
         return [region for region in self.regions if region.frame_index == frame_index]
 

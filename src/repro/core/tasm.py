@@ -12,12 +12,17 @@ storage), the semantic index (labelled bounding boxes), the tile partitioner
 
 plus the layout-management operations the tiling strategies of Section 4 are
 built from (``layout_around``, ``retile_sot``, ``optimize_for_workload``).
+
+Query execution routes through the batched, cache-aware engine in
+``repro.exec``: ``scan``/``execute`` run one query through it (identical to
+the paper's behaviour when the decode cache is disabled, the default), and
+``execute_batch`` runs many queries while decoding each needed tile at most
+once.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..config import DEFAULT_CONFIG, TasmConfig
 from ..detection.base import Detection
@@ -30,12 +35,16 @@ from ..storage.catalog import VideoCatalog
 from ..storage.tiled_video import RetileRecord, TiledVideo
 from ..tiles.layout import TileLayout, untiled_layout
 from ..tiles.partitioner import TileGranularity, partition_around_boxes
-from ..video.decoder import RegionRequest, VideoDecoder
+from ..video.decoder import VideoDecoder
 from ..video.video import Video
 from .cost import CostEstimate, CostModel, WhatIfAnalyzer
 from .predicates import LabelPredicate, TemporalPredicate
 from .query import Query, Workload
-from .scan import ScanRegion, ScanResult
+from .scan import ScanResult
+
+if TYPE_CHECKING:
+    from ..exec.cache import TileDecodeCache
+    from ..exec.engine import BatchResult, QueryExecutor
 
 __all__ = ["TASM"]
 
@@ -61,14 +70,27 @@ class TASM:
         self.catalog = VideoCatalog(self.config)
         self.cost_model = CostModel(self.config)
         self.what_if = WhatIfAnalyzer(self.cost_model)
-        self._decoder = VideoDecoder(self.config.codec)
+        # Imported lazily: repro.exec imports repro.core for the query and
+        # scan-result types, so a module-level import here would be circular.
+        from ..exec.cache import TileDecodeCache
+        from ..exec.engine import QueryExecutor
+
+        self.tile_cache: "TileDecodeCache | None" = (
+            TileDecodeCache(self.config.decode_cache_bytes)
+            if self.config.decode_cache_bytes > 0
+            else None
+        )
+        self._decoder = VideoDecoder(self.config.codec, cache=self.tile_cache)
+        self._executor: "QueryExecutor" = QueryExecutor(self)
 
     # ------------------------------------------------------------------
     # Ingest and metadata (Section 3.1 / 3.3)
     # ------------------------------------------------------------------
     def ingest(self, video: Video) -> TiledVideo:
         """Register a raw video; its initial physical layout is untiled."""
-        return self.catalog.ingest(video)
+        tiled = self.catalog.ingest(video)
+        tiled.add_retile_listener(self._on_retile)
+        return tiled
 
     def video(self, name: str) -> TiledVideo:
         return self.catalog.get(name)
@@ -115,52 +137,33 @@ class TASM:
         The index lookup finds the matching boxes and the tiles containing
         them; the decoder then decodes only those tiles.  Index time and
         decode time are reported separately, as in the paper's evaluation.
+        The query runs through the :class:`~repro.exec.engine.QueryExecutor`;
+        with ``decode_cache_bytes`` configured, tiles decoded by earlier
+        scans are served from the cache instead of re-decoded.
         """
         predicate = self._normalise_predicate(predicate)
         temporal = temporal or TemporalPredicate.everything()
-        tiled = self.catalog.get(video_name)
-        frame_start, frame_stop = temporal.resolve(tiled.video.frame_count)
-
-        index_started = time.perf_counter()
-        regions_by_frame = self._regions_by_frame(
-            video_name, predicate, frame_start, frame_stop
+        return self._executor.execute(
+            Query(video=video_name, predicate=predicate, temporal=temporal)
         )
-        index_seconds = time.perf_counter() - index_started
-
-        result = ScanResult(video=video_name, index_seconds=index_seconds)
-        if not regions_by_frame:
-            return result
-
-        decode_started = time.perf_counter()
-        label = next(iter(predicate.labels)) if predicate.is_single_label else None
-        for sot_index in tiled.sots_for_frames(frame_start, frame_stop):
-            sot_start, sot_stop = tiled.frame_range(sot_index)
-            requests = [
-                RegionRequest(frame_index=frame_index, region=region, label=label)
-                for frame_index, regions in regions_by_frame.items()
-                if sot_start <= frame_index < sot_stop
-                for region in regions
-            ]
-            if not requests:
-                continue
-            encoded = tiled.encoded_sot(sot_index)
-            decoded = self._decoder.decode_regions(encoded, requests)
-            result.stats.merge(decoded.stats)
-            result.regions.extend(
-                ScanRegion(
-                    frame_index=region.frame_index,
-                    region=region.request.region,
-                    pixels=region.pixels,
-                    label=region.label,
-                )
-                for region in decoded.regions
-            )
-        result.decode_seconds = time.perf_counter() - decode_started
-        return result
 
     def execute(self, query: Query) -> ScanResult:
         """Execute a :class:`~repro.core.query.Query` object."""
-        return self.scan(query.video, query.predicate, query.temporal)
+        return self._executor.execute(query)
+
+    def execute_batch(
+        self,
+        queries: Sequence[Query],
+        max_workers: int | None = None,
+    ) -> "BatchResult":
+        """Execute a batch of queries, decoding each needed tile at most once.
+
+        Returns a :class:`~repro.exec.engine.BatchResult` whose ``results``
+        list holds one :class:`ScanResult` per query (in input order, each
+        byte-identical to a sequential ``scan``) and whose ``stats``/``cache``
+        report the shared decode work and cache behaviour of the batch.
+        """
+        return self._executor.execute_batch(queries, max_workers=max_workers)
 
     # ------------------------------------------------------------------
     # Layout generation and re-tiling (Section 3.4 / 4.2)
@@ -207,8 +210,21 @@ class TASM:
         )
 
     def retile_sot(self, video_name: str, sot_index: int, layout: TileLayout) -> RetileRecord:
-        """Re-encode one SOT with a new layout (the physical re-organisation)."""
-        return self.catalog.get(video_name).retile(sot_index, layout)
+        """Re-encode one SOT with a new layout (the physical re-organisation).
+
+        Any tile decodes cached for the superseded encoding are invalidated —
+        a scan after a re-tile can never be served stale pixels.
+        """
+        record = self.catalog.get(video_name).retile(sot_index, layout)
+        # The retile listener registered at ingest already invalidates, but a
+        # TiledVideo loaded into the catalog directly (e.g. restored from
+        # disk) may carry no listener, so invalidate here as well.
+        self._on_retile(video_name, sot_index)
+        return record
+
+    def _on_retile(self, video_name: str, sot_index: int) -> None:
+        if self.tile_cache is not None:
+            self.tile_cache.invalidate_sot(video_name, sot_index)
 
     # ------------------------------------------------------------------
     # Cost estimation (Section 4.1)

@@ -1,0 +1,33 @@
+"""Batched execution and tile-decode caching for TASM queries.
+
+TASM's headline win is decoding only the tiles a predicate touches, but the
+paper executes each ``Scan`` in isolation: concurrent or repeated queries
+over the same sequences of tiles re-decode identical bitstreams from
+scratch.  This package removes that redundancy, following the cache-aware
+scheduling of VSS and the batched frame requests of Scanner (see PAPERS.md):
+
+* :class:`~repro.exec.cache.TileDecodeCache` — an LRU cache of decoded tile
+  rasters, bounded by decoded bytes (``TasmConfig.decode_cache_bytes``),
+  with hit/miss/eviction statistics, explicit per-SOT invalidation on
+  re-tiling, and bitstream-checksum validation so a re-encoded SOT can never
+  serve stale pixels.
+* :class:`~repro.exec.engine.QueryExecutor` — plans a batch of queries into
+  per-``(video, SOT)`` region requests, decodes each needed (GOP, tile)
+  bitstream at most once per batch (optionally fanning SOT prefetch across a
+  thread pool), then answers every query from the warm cache.  Per-query
+  results are byte-identical to sequential ``scan()`` calls.
+
+``TASM.scan`` / ``TASM.execute`` route through this executor; batches enter
+via ``TASM.execute_batch``.
+"""
+
+from .cache import CacheStats, TileDecodeCache, TileKey
+from .engine import BatchResult, QueryExecutor
+
+__all__ = [
+    "BatchResult",
+    "CacheStats",
+    "QueryExecutor",
+    "TileDecodeCache",
+    "TileKey",
+]

@@ -1,0 +1,326 @@
+"""Batched, cache-aware query execution.
+
+:class:`QueryExecutor` is the single path every TASM ``Scan`` takes.  For a
+lone query it behaves exactly like the paper's scan loop (index lookup, then
+decode only the tiles the selected regions touch).  For a batch it adds the
+two optimisations the VSS and Scanner systems apply to exactly this redundant
+work:
+
+* **Planning** — every query's region requests are resolved up front and
+  grouped by ``(video, SOT)``, so the executor knows the union of tiles the
+  whole batch needs before decoding anything.
+* **Warm + serve, pipelined per SOT** — each needed (GOP, tile) bitstream is
+  decoded *once*, to the deepest frame any query in the batch reaches, into
+  the :class:`~repro.exec.cache.TileDecodeCache` (prefetch optionally fans
+  out across a thread pool), and every query's requests against that SOT are
+  answered immediately afterwards, while its tiles are the cache's most
+  recently used entries — so a cache that holds one SOT's working set serves
+  hits even when the batch's whole working set is far larger, and a SOT too
+  big for the cache is simply not prefetched (serving it costs no more than
+  sequential execution would).  Per-query results are
+  byte-identical to sequential ``scan()`` calls — serving runs the same
+  grouping, decode-depth, and assembly logic — but tiles shared between
+  queries are decoded once instead of once per query.
+
+Decode-work accounting never double-counts: a cache hit contributes to the
+``cache_hits`` / ``pixels_served_from_cache`` counters, not to the P/T decode
+counters, so summing the batch's stats reproduces the work actually done.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from ..core.query import Query
+from ..core.scan import ScanRegion, ScanResult
+from ..video.codec import DecodeStats
+from ..video.decoder import DecodeResult, RegionRequest, VideoDecoder
+from .cache import CacheStats, TileDecodeCache
+
+if TYPE_CHECKING:
+    from ..core.tasm import TASM
+
+__all__ = ["BatchResult", "QueryExecutor"]
+
+
+@dataclass
+class _QueryPlan:
+    """One query's resolved work: the region requests it implies, per SOT."""
+
+    query: Query
+    video: str
+    index_seconds: float
+    sot_requests: list[tuple[int, list[RegionRequest]]]
+
+    @property
+    def request_count(self) -> int:
+        return sum(len(requests) for _, requests in self.sot_requests)
+
+
+@dataclass
+class BatchResult:
+    """Everything ``execute_batch`` returns.
+
+    ``results`` holds one :class:`~repro.core.scan.ScanResult` per input
+    query, in input order; ``stats`` aggregates the decode work of the whole
+    batch (warm phase plus any serve-phase misses) without double-counting
+    tiles shared between queries.
+    """
+
+    results: list[ScanResult] = field(default_factory=list)
+    stats: DecodeStats = field(default_factory=DecodeStats)
+    cache: CacheStats = field(default_factory=CacheStats)
+    index_seconds: float = 0.0
+    #: Aggregate decoder time spent prefetching (warm) and answering queries
+    #: (serve).  These sum per-SOT decode times, so with ``executor_threads``
+    #: > 1 the warm figure can exceed the wall-clock time of the overlapped
+    #: prefetches — compare decode *work* across runs with ``stats`` instead.
+    warm_seconds: float = 0.0
+    serve_seconds: float = 0.0
+
+    @property
+    def pixels_decoded(self) -> int:
+        """Unique decoded-pixel work for the whole batch (the paper's P)."""
+        return self.stats.pixels_decoded
+
+    @property
+    def tiles_decoded(self) -> int:
+        return self.stats.tiles_decoded
+
+    @property
+    def pixels_served_from_cache(self) -> int:
+        """Pixels handed to queries from the cache rather than re-decoded.
+
+        This counts every serve-phase hit, including hits on tiles this very
+        batch warmed — it is cache traffic, not net savings.  The work saved
+        versus sequential execution is the sequential path's pixel count
+        minus :attr:`pixels_decoded`.
+        """
+        return self.stats.pixels_served_from_cache
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    @property
+    def total_seconds(self) -> float:
+        return self.index_seconds + self.warm_seconds + self.serve_seconds
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[ScanResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> ScanResult:
+        return self.results[index]
+
+
+class QueryExecutor:
+    """Executes queries against a TASM instance, sharing decoded tiles."""
+
+    def __init__(self, tasm: "TASM"):
+        self._tasm = tasm
+
+    # ------------------------------------------------------------------
+    # Single-query execution (the Scan path)
+    # ------------------------------------------------------------------
+    def execute(self, query: Query) -> ScanResult:
+        """Execute one query; uses TASM's persistent tile cache when enabled."""
+        return self._serve(self._plan(query), self._tasm._decoder)
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self,
+        queries: Sequence[Query],
+        max_workers: int | None = None,
+    ) -> BatchResult:
+        """Execute a batch of queries, decoding each needed tile at most once.
+
+        When TASM has a persistent :class:`TileDecodeCache` (configured via
+        ``TasmConfig.decode_cache_bytes``) the batch shares it — warm entries
+        from earlier scans are reused and survivors stay for later ones.
+        Otherwise an unbounded cache scoped to this batch provides the
+        intra-batch sharing.  ``max_workers`` overrides
+        ``TasmConfig.executor_threads`` for the SOT prefetch fan-out.
+        """
+        plans = [self._plan(query) for query in queries]
+        index_seconds = sum(plan.index_seconds for plan in plans)
+
+        cache = self._tasm.tile_cache
+        batch_scoped_cache = cache is None
+        if cache is not None:
+            decoder = self._tasm._decoder
+        else:
+            cache = TileDecodeCache(capacity_bytes=None)
+            decoder = VideoDecoder(self._tasm.config.codec, cache=cache)
+        stats_before = cache.stats.snapshot()
+
+        # Per (video, SOT): the union of region requests across the batch
+        # (what the warm phase decodes) and which queries want which requests
+        # (what the serve phase assembles).
+        union: dict[tuple[str, int], list[RegionRequest]] = {}
+        members: dict[tuple[str, int], list[tuple[int, list[RegionRequest]]]] = {}
+        for plan_index, plan in enumerate(plans):
+            for sot_index, requests in plan.sot_requests:
+                key = (plan.video, sot_index)
+                union.setdefault(key, []).extend(requests)
+                members.setdefault(key, []).append((plan_index, requests))
+
+        # Materialise encoded SOTs up front: lazy first-touch encoding is not
+        # thread-safe, and the serve phase needs them anyway.
+        encoded = {
+            (video, sot_index): self._tasm.catalog.get(video).encoded_sot(sot_index)
+            for video, sot_index in union
+        }
+
+        results = [
+            ScanResult(video=plan.video, index_seconds=plan.index_seconds)
+            for plan in plans
+        ]
+        warm_stats = DecodeStats()
+        warm_seconds = 0.0
+        serve_seconds = 0.0
+        workers = max_workers if max_workers is not None else self._tasm.config.executor_threads
+
+        def _prefetch(key: tuple[str, int]) -> DecodeResult:
+            return decoder.prefetch_regions(encoded[key], union[key], scope=key[0])
+
+        def _serve_group(key: tuple[str, int]) -> float:
+            """Answer every query's requests for one SOT from the warm cache."""
+            elapsed = 0.0
+            for plan_index, requests in members[key]:
+                decoded = decoder.decode_regions(encoded[key], requests, scope=key[0])
+                self._apply_decoded(results[plan_index], decoded)
+                results[plan_index].decode_seconds += decoded.elapsed_seconds
+                elapsed += decoded.elapsed_seconds
+            if batch_scoped_cache:
+                # Served SOTs are never revisited (ordered_keys is visited
+                # once, ascending), so a batch-scoped cache can release them —
+                # peak memory stays near one prefetch window, not the batch's
+                # whole decoded working set.
+                cache.invalidate_sot(key[0], key[1])
+            return elapsed
+
+        # Each SOT is served immediately after its prefetch: its tiles are the
+        # most recently used entries, so a cache holding one SOT's working
+        # set serves hits however large the batch is (prefetch itself skips
+        # any SOT too big for the cache).  The thread pool keeps at most
+        # `workers` prefetches in flight ahead of the serve cursor for the
+        # same reason — submitting every SOT at once would let late
+        # prefetches evict tiles not yet served; for full hits under
+        # threading, size decode_cache_bytes to at least executor_threads
+        # SOT working sets.  SOT order is ascending per video, so each
+        # query's regions accumulate in the same order a sequential scan
+        # would produce them.
+        ordered_keys = sorted(union)
+        if workers > 1 and len(ordered_keys) > 1:
+            window = min(workers, len(ordered_keys))
+            with ThreadPoolExecutor(max_workers=window) as pool:
+                in_flight: dict[tuple[str, int], object] = {}
+                next_submit = 0
+                for cursor, key in enumerate(ordered_keys):
+                    while next_submit < len(ordered_keys) and next_submit - cursor < window:
+                        pending_key = ordered_keys[next_submit]
+                        in_flight[pending_key] = pool.submit(_prefetch, pending_key)
+                        next_submit += 1
+                    warm = in_flight.pop(key).result()
+                    warm_stats.merge(warm.stats)
+                    warm_seconds += warm.elapsed_seconds
+                    serve_seconds += _serve_group(key)
+        else:
+            for key in ordered_keys:
+                warm = _prefetch(key)
+                warm_stats.merge(warm.stats)
+                warm_seconds += warm.elapsed_seconds
+                serve_seconds += _serve_group(key)
+
+        total = DecodeStats()
+        total.merge(warm_stats)
+        for result in results:
+            total.merge(result.stats)
+        return BatchResult(
+            results=results,
+            stats=total,
+            cache=cache.stats.since(stats_before),
+            index_seconds=index_seconds,
+            warm_seconds=warm_seconds,
+            serve_seconds=serve_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _plan(self, query: Query) -> _QueryPlan:
+        """Resolve a query into per-SOT region requests via the semantic index."""
+        tasm = self._tasm
+        tiled = tasm.catalog.get(query.video)
+        frame_start, frame_stop = query.temporal.resolve(tiled.video.frame_count)
+
+        index_started = time.perf_counter()
+        regions_by_frame = tasm._regions_by_frame(
+            query.video, query.predicate, frame_start, frame_stop
+        )
+        index_seconds = time.perf_counter() - index_started
+
+        sot_requests: list[tuple[int, list[RegionRequest]]] = []
+        if regions_by_frame:
+            label = (
+                next(iter(query.predicate.labels))
+                if query.predicate.is_single_label
+                else None
+            )
+            for sot_index in tiled.sots_for_frames(frame_start, frame_stop):
+                sot_start, sot_stop = tiled.frame_range(sot_index)
+                requests = [
+                    RegionRequest(frame_index=frame_index, region=region, label=label)
+                    for frame_index, regions in regions_by_frame.items()
+                    if sot_start <= frame_index < sot_stop
+                    for region in regions
+                ]
+                if requests:
+                    sot_requests.append((sot_index, requests))
+        return _QueryPlan(
+            query=query,
+            video=query.video,
+            index_seconds=index_seconds,
+            sot_requests=sot_requests,
+        )
+
+    def _serve(self, plan: _QueryPlan, decoder: VideoDecoder) -> ScanResult:
+        """Answer one planned query — the paper's per-SOT decode loop."""
+        result = ScanResult(video=plan.video, index_seconds=plan.index_seconds)
+        if not plan.sot_requests:
+            return result
+        tiled = self._tasm.catalog.get(plan.video)
+        decode_started = time.perf_counter()
+        for sot_index, requests in plan.sot_requests:
+            encoded = tiled.encoded_sot(sot_index)
+            decoded = decoder.decode_regions(encoded, requests, scope=plan.video)
+            self._apply_decoded(result, decoded)
+        result.decode_seconds = time.perf_counter() - decode_started
+        return result
+
+    @staticmethod
+    def _apply_decoded(result: ScanResult, decoded: DecodeResult) -> None:
+        """Merge one SOT's decode output into a query's ScanResult.
+
+        Both the single-query path and the batched serve phase build regions
+        through this one helper, which is what keeps their outputs
+        byte-identical.
+        """
+        result.stats.merge(decoded.stats)
+        result.regions.extend(
+            ScanRegion(
+                frame_index=region.frame_index,
+                region=region.request.region,
+                pixels=region.pixels,
+                label=region.label,
+            )
+            for region in decoded.regions
+        )

@@ -116,7 +116,10 @@ class SqliteSemanticIndex:
         if frame_stop is not None:
             query += " AND frame < ?"
             parameters.append(frame_stop)
-        query += " ORDER BY frame"
+        # rowid breaks frame ties in insertion order, matching the B-tree
+        # backend's duplicate-key semantics; ORDER BY frame alone leaves the
+        # tie order unspecified, which cross-backend parity cannot tolerate.
+        query += " ORDER BY frame, rowid"
         rows = self._connection.execute(query, parameters).fetchall()
         return [self._row_to_entry(row) for row in rows]
 

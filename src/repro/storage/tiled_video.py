@@ -11,6 +11,7 @@ incremental strategies weigh against accumulated regret.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..config import TasmConfig
 from ..errors import StorageError
@@ -44,6 +45,9 @@ class TiledVideo:
     _sots: dict[int, EncodedSot] = field(default_factory=dict, init=False)
     _encoder: VideoEncoder = field(init=False)
     retile_history: list[RetileRecord] = field(default_factory=list, init=False)
+    _retile_listeners: list[Callable[[str, int], None]] = field(
+        default_factory=list, init=False
+    )
 
     def __post_init__(self) -> None:
         self.layout_spec = VideoLayoutSpec(
@@ -95,6 +99,16 @@ class TiledVideo:
     # ------------------------------------------------------------------
     # Re-tiling
     # ------------------------------------------------------------------
+    def add_retile_listener(self, listener: Callable[[str, int], None]) -> None:
+        """Register a callback fired as ``listener(video_name, sot_index)``
+        whenever a SOT is physically re-encoded.
+
+        TASM uses this to invalidate cached tile decodes of the superseded
+        encoding; any holder of decoded state derived from a SOT can hook in
+        the same way.
+        """
+        self._retile_listeners.append(listener)
+
     def retile(self, sot_index: int, layout: TileLayout) -> RetileRecord:
         """Re-encode one SOT under ``layout`` and record the work done.
 
@@ -107,6 +121,8 @@ class TiledVideo:
             return RetileRecord(sot_index, layout, 0, 0, 0, 0.0)
         self.layout_spec.set_layout(sot_index, layout)
         encoded = self._encode(sot_index, layout, record=True)
+        for listener in self._retile_listeners:
+            listener(self.name, sot_index)
         return self.retile_history[-1] if self.retile_history else RetileRecord(
             sot_index, layout, 0, 0, encoded.size_bytes, encoded.encode_seconds
         )

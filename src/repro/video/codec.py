@@ -59,17 +59,27 @@ class DecodeStats:
 
     ``pixels_decoded`` counts every pixel of every frame reconstructed, and
     ``tiles_decoded`` counts (tile, GOP) pairs whose bitstream was opened.
-    These are the P and T of the paper's cost model.
+    These are the P and T of the paper's cost model.  A tile served from the
+    decode cache contributes to ``cache_hits`` / ``pixels_served_from_cache``
+    instead of P and T — the decode-work counters only ever measure work that
+    actually happened, so summing stats across the queries of a batch never
+    double-counts a tile that served several of them.
     """
 
     pixels_decoded: int = 0
     tiles_decoded: int = 0
     frames_decoded: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    pixels_served_from_cache: int = 0
 
     def merge(self, other: "DecodeStats") -> None:
         self.pixels_decoded += other.pixels_decoded
         self.tiles_decoded += other.tiles_decoded
         self.frames_decoded += other.frames_decoded
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.pixels_served_from_cache += other.pixels_served_from_cache
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -24,6 +25,9 @@ from ..errors import CodecError
 from ..geometry import Rectangle
 from .codec import DecodeStats, EncodedGop, TileCodec
 from .encoder import EncodedSot
+
+if TYPE_CHECKING:  # avoid a package cycle: repro.exec imports repro.video
+    from ..exec.cache import TileDecodeCache
 
 __all__ = ["RegionRequest", "DecodedRegion", "DecodeResult", "VideoDecoder"]
 
@@ -68,16 +72,35 @@ class DecodeResult:
 
 
 class VideoDecoder:
-    """Decodes regions out of encoded SOTs."""
+    """Decodes regions out of encoded SOTs.
 
-    def __init__(self, codec_config: CodecConfig | None = None):
+    When constructed with a :class:`~repro.exec.cache.TileDecodeCache`, the
+    decoder consults it before opening a tile bitstream and stores every
+    reconstruction it produces: repeated scans over the same tiles become
+    cache hits that add nothing to the P/T decode-work counters.  Cache keys
+    are namespaced by ``scope`` (the video name), which callers must supply
+    for caching to engage — decodes without a scope behave exactly like the
+    cacheless decoder.
+    """
+
+    def __init__(
+        self,
+        codec_config: CodecConfig | None = None,
+        cache: "TileDecodeCache | None" = None,
+    ):
         self.codec_config = codec_config or CodecConfig()
+        self.cache = cache
         self._codec = TileCodec(self.codec_config)
 
     # ------------------------------------------------------------------
     # Region decoding (the Scan path)
     # ------------------------------------------------------------------
-    def decode_regions(self, sot: EncodedSot, requests: list[RegionRequest]) -> DecodeResult:
+    def decode_regions(
+        self,
+        sot: EncodedSot,
+        requests: list[RegionRequest],
+        scope: str | None = None,
+    ) -> DecodeResult:
         """Decode the pixels of every requested region from one SOT.
 
         Requests are grouped by GOP, then by tile: each (GOP, tile) bitstream
@@ -86,23 +109,75 @@ class VideoDecoder:
         """
         started = time.perf_counter()
         result = DecodeResult()
-        in_range = [
-            request
-            for request in requests
-            if sot.frame_start <= request.frame_index < sot.frame_stop
-        ]
-        by_gop: dict[int, list[RegionRequest]] = {}
-        for request in in_range:
-            gop = sot.gop_containing(request.frame_index)
-            by_gop.setdefault(gop.frame_start, []).append(request)
-
-        layout = sot.layout
-        for gop_start, gop_requests in sorted(by_gop.items()):
-            gop = next(g for g in sot.gops if g.frame_start == gop_start)
-            self._decode_gop_requests(gop, layout_rectangles=layout.tile_rectangles(),
-                                      requests=gop_requests, result=result)
+        layout_rectangles = sot.layout.tile_rectangles()
+        for gop, gop_requests in self._group_requests_by_gop(sot, requests):
+            self._decode_gop_requests(gop, layout_rectangles=layout_rectangles,
+                                      requests=gop_requests, result=result,
+                                      scope=scope, sot_index=sot.sot_index)
         result.elapsed_seconds = time.perf_counter() - started
         return result
+
+    def prefetch_regions(
+        self,
+        sot: EncodedSot,
+        requests: list[RegionRequest],
+        scope: str,
+    ) -> DecodeResult:
+        """Decode every tile the requests touch into the cache, skipping assembly.
+
+        This is the batch executor's warm phase: given the union of every
+        region the batch needs from one SOT, each touched (GOP, tile) is
+        decoded once, to the deepest frame any request reaches, and stored in
+        the cache so the per-query serve phase hits instead of re-decoding.
+        The returned result carries only decode-work stats (no regions).
+
+        Prefetching is useful only when the warmed tiles survive until they
+        are served, so a SOT whose union working set exceeds the cache
+        capacity is skipped entirely (the cache would evict its own entries
+        mid-warm); the serve phase then decodes that SOT per query, which
+        costs exactly what sequential execution would — warming it would cost
+        strictly more.
+        """
+        if self.cache is None:
+            raise CodecError("prefetch_regions requires a decoder with a tile cache")
+        started = time.perf_counter()
+        result = DecodeResult()
+        layout_rectangles = sot.layout.tile_rectangles()
+        grouped = self._group_requests_by_gop(sot, requests)
+        plans = [
+            (gop, self._plan_gop(gop, layout_rectangles, gop_requests)[0])
+            for gop, gop_requests in grouped
+        ]
+        if self.cache.capacity_bytes is not None:
+            working_set_bytes = sum(
+                gop.tiles[tile_index].pixels_per_frame * (depth + 1)
+                for gop, tile_depth in plans
+                for tile_index, depth in tile_depth.items()
+            )
+            if working_set_bytes > self.cache.capacity_bytes:
+                result.elapsed_seconds = time.perf_counter() - started
+                return result
+        for gop, tile_depth in plans:
+            self._reconstruct_tiles(
+                gop, tile_depth, result, scope=scope, sot_index=sot.sot_index
+            )
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _group_requests_by_gop(
+        self, sot: EncodedSot, requests: list[RegionRequest]
+    ) -> list[tuple[EncodedGop, list[RegionRequest]]]:
+        """In-range requests bucketed by the GOP containing them, GOP order."""
+        by_gop: dict[int, list[RegionRequest]] = {}
+        for request in requests:
+            if not sot.frame_start <= request.frame_index < sot.frame_stop:
+                continue
+            gop = sot.gop_containing(request.frame_index)
+            by_gop.setdefault(gop.frame_start, []).append(request)
+        return [
+            (next(g for g in sot.gops if g.frame_start == gop_start), gop_requests)
+            for gop_start, gop_requests in sorted(by_gop.items())
+        ]
 
     def decode_full_frames(self, sot: EncodedSot, frame_indices: list[int]) -> DecodeResult:
         """Decode whole frames (every tile) — the untiled / stitching path."""
@@ -119,9 +194,32 @@ class VideoDecoder:
         layout_rectangles: list[Rectangle],
         requests: list[RegionRequest],
         result: DecodeResult,
+        scope: str | None = None,
+        sot_index: int = 0,
     ) -> None:
-        # Which tiles does each request touch, and how deep into the GOP must
-        # each touched tile be decoded?
+        tile_depth, request_tiles = self._plan_gop(gop, layout_rectangles, requests)
+
+        # Decode each touched tile once, up to the deepest frame needed.
+        reconstructions = self._reconstruct_tiles(
+            gop, tile_depth, result, scope=scope, sot_index=sot_index
+        )
+
+        # Assemble the requested pixels from the decoded tiles.
+        for request, touched in request_tiles:
+            offset = request.frame_index - gop.frame_start
+            pixels = self._assemble_region(
+                request.region, touched, layout_rectangles, reconstructions, offset
+            )
+            result.regions.append(DecodedRegion(request=request, pixels=pixels))
+
+    def _plan_gop(
+        self,
+        gop: EncodedGop,
+        layout_rectangles: list[Rectangle],
+        requests: list[RegionRequest],
+    ) -> tuple[dict[int, int], list[tuple[RegionRequest, list[int]]]]:
+        """Which tiles does each request touch, and how deep into the GOP must
+        each touched tile be decoded?"""
         tile_depth: dict[int, int] = {}
         request_tiles: list[tuple[RegionRequest, list[int]]] = []
         for request in requests:
@@ -139,22 +237,37 @@ class VideoDecoder:
             request_tiles.append((request, touched))
             for index in touched:
                 tile_depth[index] = max(tile_depth.get(index, -1), offset)
+        return tile_depth, request_tiles
 
-        # Decode each touched tile once, up to the deepest frame needed.
+    def _reconstruct_tiles(
+        self,
+        gop: EncodedGop,
+        tile_depth: dict[int, int],
+        result: DecodeResult,
+        scope: str | None,
+        sot_index: int,
+    ) -> dict[int, list[np.ndarray]]:
+        """Reconstruct each needed tile, via the cache when one is attached."""
         reconstructions: dict[int, list[np.ndarray]] = {}
         for tile_index, depth in tile_depth.items():
             tile = gop.tiles[tile_index]
-            reconstructions[tile_index] = self._codec.decode_tile(
-                tile, up_to_offset=depth, stats=result.stats
-            )
-
-        # Assemble the requested pixels from the decoded tiles.
-        for request, touched in request_tiles:
-            offset = request.frame_index - gop.frame_start
-            pixels = self._assemble_region(
-                request.region, touched, layout_rectangles, reconstructions, offset
-            )
-            result.regions.append(DecodedRegion(request=request, pixels=pixels))
+            key = None
+            if self.cache is not None and scope is not None:
+                key = (scope, sot_index, gop.frame_start, tile_index)
+                cached = self.cache.get(key, min_depth=depth, token=tile.checksums)
+                if cached is not None:
+                    result.stats.cache_hits += 1
+                    result.stats.pixels_served_from_cache += (
+                        tile.pixels_per_frame * (depth + 1)
+                    )
+                    reconstructions[tile_index] = cached
+                    continue
+                result.stats.cache_misses += 1
+            frames = self._codec.decode_tile(tile, up_to_offset=depth, stats=result.stats)
+            if key is not None:
+                self.cache.put(key, frames, token=tile.checksums)
+            reconstructions[tile_index] = frames
+        return reconstructions
 
     def _assemble_region(
         self,

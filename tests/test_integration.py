@@ -104,6 +104,74 @@ class TestPersistenceRoundTrip:
             np.testing.assert_array_equal(region_before.pixels, region_after.pixels)
 
 
+class TestIndexBackendParity:
+    """The B-tree and SQLite semantic indexes must be observably identical.
+
+    The same detect -> index -> tile -> query workload runs under both
+    ``index_backend`` choices, including duplicate (video, label, frame) keys
+    whose tie order is where backends most easily diverge; every scan must
+    return the same regions in the same order with the same pixels.
+    """
+
+    @staticmethod
+    def _build(config, backend: str):
+        video = build_tiny_video()
+        tasm = TASM(config=config, index_backend=backend)
+        tasm.ingest(video)
+        detections = [
+            d for f in range(video.frame_count) for d in video.ground_truth(f)
+        ]
+        # Index every box twice: duplicate keys stress duplicate-entry order.
+        tasm.add_detections(video.name, detections)
+        tasm.add_detections(video.name, detections)
+        return tasm, video
+
+    def test_scan_results_identical_across_backends(self, config):
+        tasms = {}
+        for backend in ("btree", "sqlite"):
+            tasm, video = self._build(config, backend)
+            workload = Workload.from_queries(
+                "cars", [Query.select("car", video.name)]
+            )
+            tasm.optimize_for_workload(video.name, workload)
+            tasms[backend] = tasm
+
+        scans = [
+            ("car", None),
+            ("person", None),
+            ("sign", TemporalPredicate.between(2, 9)),
+            (["car", "person"], None),
+        ]
+        for predicate, temporal in scans:
+            btree_result = tasms["btree"].scan(video.name, predicate, temporal)
+            sqlite_result = tasms["sqlite"].scan(video.name, predicate, temporal)
+            assert not btree_result.is_empty()
+            assert btree_result.pixels_decoded == sqlite_result.pixels_decoded
+            assert len(btree_result.regions) == len(sqlite_result.regions)
+            for ours, theirs in zip(btree_result.regions, sqlite_result.regions):
+                assert ours.frame_index == theirs.frame_index
+                assert ours.region == theirs.region
+                np.testing.assert_array_equal(ours.pixels, theirs.pixels)
+
+    def test_batched_execution_identical_across_backends(self, config):
+        batches = {}
+        for backend in ("btree", "sqlite"):
+            tasm, video = self._build(config, backend)
+            queries = [
+                Query.select("car", video.name),
+                Query.select_range("person", video.name, 0, 10),
+                Query.select_any(["car", "sign"], video.name),
+            ]
+            batches[backend] = tasm.execute_batch(queries)
+        assert batches["btree"].pixels_decoded == batches["sqlite"].pixels_decoded
+        for ours, theirs in zip(batches["btree"], batches["sqlite"]):
+            assert len(ours.regions) == len(theirs.regions)
+            for one, other in zip(ours.regions, theirs.regions):
+                assert one.frame_index == other.frame_index
+                assert one.region == other.region
+                np.testing.assert_array_equal(one.pixels, other.pixels)
+
+
 class TestIncrementalAdaptation:
     def test_regret_strategy_converges_and_stays_correct(self, config):
         """Over a repeated workload the regret policy re-tiles and ends up cheaper.
