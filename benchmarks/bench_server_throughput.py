@@ -1,0 +1,156 @@
+"""Server throughput: queries/sec and cache hit rate vs clients and window.
+
+The service layer's claim is that concurrency *helps* instead of thrashing:
+queries from concurrent clients coalesce through the batching window into
+shared ``execute_batch`` calls against one process-wide tile cache, so N
+clients asking overlapping questions decode far fewer pixels than N
+independent TASM instances would.  This benchmark sweeps the two knobs that
+govern that sharing — number of concurrent clients (1 / 4 / 16) and batching
+window (0 / 5 / 20 ms) — and reports served queries/sec, cache hit rate, and
+decoded pixels versus the independent-instances baseline, in the same
+rows-of-dicts shape ``bench_batch_cache.py`` emits.
+
+Every configuration must decode strictly fewer pixels than its clients would
+independently; the multi-client rows are the PR's acceptance check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis import format_table, prepare_tasm
+from repro.core.query import Query
+from repro.datasets import visual_road_scene
+from repro.service import TasmServer
+
+from _bench_utils import print_section
+
+#: Decoded bytes kept by the server's shared cache (64 MiB).
+CACHE_BYTES = 64 * 1024 * 1024
+CLIENT_COUNTS = (1, 4, 16)
+WINDOWS_MS = (0.0, 5.0, 20.0)
+QUERIES_PER_CLIENT = 6
+
+
+def _video():
+    return visual_road_scene(
+        "server-throughput-road", duration_seconds=6.0, frame_rate=10, seed=917
+    )
+
+
+def _client_queries(video, client_index: int) -> list[Query]:
+    """One client's session: hot objects and overlapping windows, offset per
+    client so the working sets overlap without being identical."""
+    half = video.frame_count // 2
+    shift = (client_index * 5) % half
+    return [
+        Query.select("car", video.name),
+        Query.select_range("car", video.name, shift, shift + half),
+        Query.select("person", video.name),
+        Query.select_range("person", video.name, half - shift, video.frame_count - shift),
+        Query.select("car", video.name),
+        Query.select_any(["car", "person"], video.name),
+    ][:QUERIES_PER_CLIENT]
+
+
+def _run_server_workload(config, clients: int, window_ms: float) -> dict:
+    tasm = prepare_tasm(
+        _video(),
+        config.with_updates(
+            decode_cache_bytes=CACHE_BYTES,
+            service_batch_window_ms=window_ms,
+            service_max_batch=max(clients * 2, 4),
+        ),
+    )
+    barrier = threading.Barrier(clients)
+    errors: list[BaseException] = []
+
+    def run_client(index: int) -> None:
+        try:
+            client = server.connect()
+            barrier.wait()
+            for query in _client_queries(video, index):
+                client.execute(query)
+        except BaseException as error:  # noqa: BLE001
+            errors.append(error)
+
+    video = _video()
+    with TasmServer(tasm) as server:
+        threads = [
+            threading.Thread(target=run_client, args=(index,))
+            for index in range(clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        wall_seconds = time.perf_counter() - started
+        stats = server.stats()
+    assert not errors, errors
+    return {
+        "clients": clients,
+        "window_ms": window_ms,
+        "queries": clients * QUERIES_PER_CLIENT,
+        "wall_seconds": round(wall_seconds, 3),
+        "qps": round(clients * QUERIES_PER_CLIENT / wall_seconds, 1),
+        "cache_hit_rate": round(stats.cache_hit_rate, 3),
+        "pixels_decoded": stats.pixels_decoded,
+        "batches": stats.batches_executed,
+    }
+
+
+@pytest.fixture(scope="module")
+def sequential_baseline(config):
+    """Pixels per client-session on an independent, cacheless TASM (the
+    paper's execution model); N independent clients cost N times this."""
+    video = _video()
+    reference = prepare_tasm(video, config)
+    per_client = [
+        sum(
+            reference.execute(query).pixels_decoded
+            for query in _client_queries(video, client_index)
+        )
+        for client_index in range(max(CLIENT_COUNTS))
+    ]
+    return per_client
+
+
+def test_server_throughput_vs_clients_and_window(benchmark, config, sequential_baseline):
+    rows = []
+    for clients in CLIENT_COUNTS:
+        independent_pixels = sum(sequential_baseline[:clients])
+        for window_ms in WINDOWS_MS:
+            row = _run_server_workload(config, clients, window_ms)
+            row["pixels_vs_independent"] = round(
+                row["pixels_decoded"] / independent_pixels, 4
+            )
+            rows.append(row)
+
+    benchmark(lambda: _run_server_workload(config, 4, 5.0))
+
+    print_section(
+        "Served queries/sec and cache sharing vs concurrent clients and "
+        f"batching window ({QUERIES_PER_CLIENT} queries per client)"
+    )
+    print(format_table(rows))
+
+    for row in rows:
+        independent = sum(sequential_baseline[: row["clients"]])
+        # The acceptance criterion: shared serving always decodes strictly
+        # fewer pixels than independent per-client TASM instances would.
+        assert row["pixels_decoded"] < independent, row
+        assert row["cache_hit_rate"] > 0.0, row
+    # More clients must not decode more: overlap is shared, not re-paid.
+    by_window: dict[float, list[dict]] = {}
+    for row in rows:
+        by_window.setdefault(row["window_ms"], []).append(row)
+    for window_rows in by_window.values():
+        pixels = [row["pixels_decoded"] for row in window_rows]
+        assert max(pixels) <= pixels[0] * 1.05, (
+            "shared cache must keep decode work flat as clients scale",
+            window_rows,
+        )

@@ -41,6 +41,15 @@ from .tiles import (
     partition_around_boxes,
 )
 from .exec import BatchResult, CacheStats, QueryExecutor, TileDecodeCache
+from .service import (
+    RemoteTasmClient,
+    ResultStream,
+    ServerStats,
+    SocketTransport,
+    StreamChunk,
+    TasmClient,
+    TasmServer,
+)
 from .detection import (
     Detection,
     GroundTruthDetector,
@@ -87,6 +96,13 @@ __all__ = [
     "CacheStats",
     "QueryExecutor",
     "TileDecodeCache",
+    "RemoteTasmClient",
+    "ResultStream",
+    "ServerStats",
+    "SocketTransport",
+    "StreamChunk",
+    "TasmClient",
+    "TasmServer",
     "Detection",
     "GroundTruthDetector",
     "SimulatedYoloV3",

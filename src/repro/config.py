@@ -125,9 +125,22 @@ class TasmConfig:
     #: disables the persistent cache, preserving the paper's one-shot scan
     #: behaviour; batched execution then uses a cache scoped to each batch.
     decode_cache_bytes: int = 0
+    #: Eviction policy of the tile-decode cache: "lru" evicts least recently
+    #: used; "cost" is GDSF-style, weighting each entry by its reconstruction
+    #: cost under the fitted ``beta*P + gamma*T`` model divided by its size,
+    #: so tiles that are expensive to re-decode per byte cached outlive
+    #: cheaper ones of equal recency.
+    eviction_policy: str = "lru"
     #: Thread-pool width for the batch executor's per-SOT prefetch fan-out.
     #: 1 keeps decoding single-threaded.
     executor_threads: int = 1
+    #: Batching window of the service layer (``repro.service``): queries
+    #: arriving within this many milliseconds of the first pending query are
+    #: coalesced into one ``execute_batch`` call so concurrent clients share
+    #: decodes.  0 batches only what is already queued when a batch forms.
+    service_batch_window_ms: float = 5.0
+    #: Upper bound on the number of queries coalesced into one service batch.
+    service_max_batch: int = 16
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -146,8 +159,16 @@ class TasmConfig:
             raise ConfigurationError("encode cost coefficients must be positive")
         if self.decode_cache_bytes < 0:
             raise ConfigurationError("decode_cache_bytes must be non-negative")
+        if self.eviction_policy not in ("lru", "cost"):
+            raise ConfigurationError(
+                f"eviction_policy must be 'lru' or 'cost', got {self.eviction_policy!r}"
+            )
         if self.executor_threads < 1:
             raise ConfigurationError("executor_threads must be at least 1")
+        if self.service_batch_window_ms < 0:
+            raise ConfigurationError("service_batch_window_ms must be non-negative")
+        if self.service_max_batch < 1:
+            raise ConfigurationError("service_max_batch must be at least 1")
 
     @property
     def layout_duration_frames(self) -> int:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
+from ..concurrency import SotLockRegistry
 from ..config import DEFAULT_CONFIG, TasmConfig
 from ..detection.base import Detection
 from ..errors import QueryError
@@ -70,13 +71,23 @@ class TASM:
         self.catalog = VideoCatalog(self.config)
         self.cost_model = CostModel(self.config)
         self.what_if = WhatIfAnalyzer(self.cost_model)
+        #: Readers-writer locks keyed on (video, SOT).  Scans take read locks
+        #: and the write paths (add_metadata, retile_sot) take write locks, so
+        #: a TASM shared across threads — the service layer's deployment —
+        #: serializes writes against in-flight scans.  Uncontended acquisition
+        #: is cheap enough to leave always-on for the single-caller case.
+        self.locks = SotLockRegistry()
         # Imported lazily: repro.exec imports repro.core for the query and
         # scan-result types, so a module-level import here would be circular.
         from ..exec.cache import TileDecodeCache
         from ..exec.engine import QueryExecutor
 
         self.tile_cache: "TileDecodeCache | None" = (
-            TileDecodeCache(self.config.decode_cache_bytes)
+            TileDecodeCache(
+                self.config.decode_cache_bytes,
+                eviction_policy=self.config.eviction_policy,
+                cost=self.config.cost,
+            )
             if self.config.decode_cache_bytes > 0
             else None
         )
@@ -106,22 +117,28 @@ class TASM:
         y2: float,
         confidence: float = 1.0,
     ) -> None:
-        """The paper's ``AddMetadata`` call: one labelled box on one frame."""
+        """The paper's ``AddMetadata`` call: one labelled box on one frame.
+
+        Server-safe: the index write holds the video's write lock, so it
+        serializes against the planning phase of in-flight scans.
+        """
         self.catalog.get(video_id)  # validate the video exists
-        self.semantic_index.add(
-            IndexEntry(
-                video=video_id,
-                label=label,
-                frame_index=frame,
-                box=BoundingBox(x1, y1, x2, y2),
-                confidence=confidence,
+        with self.locks.write_video(video_id):
+            self.semantic_index.add(
+                IndexEntry(
+                    video=video_id,
+                    label=label,
+                    frame_index=frame,
+                    box=BoundingBox(x1, y1, x2, y2),
+                    confidence=confidence,
+                )
             )
-        )
 
     def add_detections(self, video_id: str, detections: Iterable[Detection]) -> int:
         """Bulk AddMetadata — the path query processors and detectors use."""
         self.catalog.get(video_id)
-        return self.semantic_index.add_detections(video_id, detections)
+        with self.locks.write_video(video_id):
+            return self.semantic_index.add_detections(video_id, detections)
 
     # ------------------------------------------------------------------
     # Scan (Section 3.1)
@@ -155,6 +172,7 @@ class TASM:
         self,
         queries: Sequence[Query],
         max_workers: int | None = None,
+        observer=None,
     ) -> "BatchResult":
         """Execute a batch of queries, decoding each needed tile at most once.
 
@@ -162,8 +180,13 @@ class TASM:
         list holds one :class:`ScanResult` per query (in input order, each
         byte-identical to a sequential ``scan``) and whose ``stats``/``cache``
         report the shared decode work and cache behaviour of the batch.
+        ``observer`` receives per-SOT streaming events as results materialise
+        (see :class:`~repro.exec.engine.PartialResult`); the service layer
+        uses it to stream results to clients before the batch finishes.
         """
-        return self._executor.execute_batch(queries, max_workers=max_workers)
+        return self._executor.execute_batch(
+            queries, max_workers=max_workers, observer=observer
+        )
 
     # ------------------------------------------------------------------
     # Layout generation and re-tiling (Section 3.4 / 4.2)
@@ -213,13 +236,17 @@ class TASM:
         """Re-encode one SOT with a new layout (the physical re-organisation).
 
         Any tile decodes cached for the superseded encoding are invalidated —
-        a scan after a re-tile can never be served stale pixels.
+        a scan after a re-tile can never be served stale pixels.  Server-safe:
+        the re-encode holds the ``(video, SOT)`` write lock, so it waits for
+        in-flight scans reading this SOT to drain and blocks new ones until
+        the new encoding (and the cache invalidation) is in place.
         """
-        record = self.catalog.get(video_name).retile(sot_index, layout)
-        # The retile listener registered at ingest already invalidates, but a
-        # TiledVideo loaded into the catalog directly (e.g. restored from
-        # disk) may carry no listener, so invalidate here as well.
-        self._on_retile(video_name, sot_index)
+        with self.locks.write((video_name, sot_index)):
+            record = self.catalog.get(video_name).retile(sot_index, layout)
+            # The retile listener registered at ingest already invalidates,
+            # but a TiledVideo loaded into the catalog directly (e.g. restored
+            # from disk) may carry no listener, so invalidate here as well.
+            self._on_retile(video_name, sot_index)
         return record
 
     def _on_retile(self, video_name: str, sot_index: int) -> None:

@@ -67,3 +67,8 @@ class DetectionError(TasmError):
 
 class WorkloadError(TasmError):
     """Raised by workload generators for inconsistent parameters."""
+
+
+class ServiceError(TasmError):
+    """Raised by the service layer (server stopped, transport failure, or an
+    error propagated from a batch a streamed query belonged to)."""

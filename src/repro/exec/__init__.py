@@ -11,22 +11,33 @@ scheduling of VSS and the batched frame requests of Scanner (see PAPERS.md):
   with hit/miss/eviction statistics, explicit per-SOT invalidation on
   re-tiling, and bitstream-checksum validation so a re-encoded SOT can never
   serve stale pixels.
+* :class:`~repro.exec.cache.TileDecodeCache` eviction is pluggable:
+  ``eviction_policy="lru"`` (default) or ``"cost"`` — GDSF-style, valuing
+  each entry by the paper's fitted ``beta*P + gamma*T`` reconstruction cost
+  per byte cached.
 * :class:`~repro.exec.engine.QueryExecutor` — plans a batch of queries into
   per-``(video, SOT)`` region requests, decodes each needed (GOP, tile)
   bitstream at most once per batch (optionally fanning SOT prefetch across a
   thread pool), then answers every query from the warm cache.  Per-query
-  results are byte-identical to sequential ``scan()`` calls.
+  results are byte-identical to sequential ``scan()`` calls.  An optional
+  ``observer`` receives :class:`~repro.exec.engine.PartialResult` /
+  :class:`~repro.exec.engine.QueryDone` events as each SOT is served — the
+  streaming hook the service layer (``repro.service``) delivers per-SOT
+  results to clients through.  Execution holds TASM's per-``(video, SOT)``
+  read locks, so server-mode writes serialize against in-flight scans.
 
 ``TASM.scan`` / ``TASM.execute`` route through this executor; batches enter
 via ``TASM.execute_batch``.
 """
 
 from .cache import CacheStats, TileDecodeCache, TileKey
-from .engine import BatchResult, QueryExecutor
+from .engine import BatchResult, PartialResult, QueryDone, QueryExecutor
 
 __all__ = [
     "BatchResult",
     "CacheStats",
+    "PartialResult",
+    "QueryDone",
     "QueryExecutor",
     "TileDecodeCache",
     "TileKey",

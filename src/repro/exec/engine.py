@@ -32,8 +32,9 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
+from ..concurrency import VIDEO_LEVEL
 from ..core.query import Query
 from ..core.scan import ScanRegion, ScanResult
 from ..video.codec import DecodeStats
@@ -43,7 +44,40 @@ from .cache import CacheStats, TileDecodeCache
 if TYPE_CHECKING:
     from ..core.tasm import TASM
 
-__all__ = ["BatchResult", "QueryExecutor"]
+__all__ = ["BatchResult", "PartialResult", "QueryDone", "QueryExecutor", "StreamEvent"]
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """Streaming event: one SOT's contribution to one query is ready.
+
+    Emitted by ``execute_batch`` (through its ``observer``) immediately after
+    the SOT is served — while later SOTs of the batch may still be decoding —
+    so a serving layer can push results to clients incrementally.  ``regions``
+    are exactly the :class:`~repro.core.scan.ScanRegion` objects appended to
+    the query's final result for this SOT, in result order.
+    """
+
+    query_index: int
+    video: str
+    sot_index: int
+    regions: tuple[ScanRegion, ...]
+
+
+@dataclass(frozen=True)
+class QueryDone:
+    """Streaming event: every SOT of one query has been served.
+
+    ``result`` is the query's complete :class:`~repro.core.scan.ScanResult`,
+    byte-identical to what ``execute_batch`` returns for it.
+    """
+
+    query_index: int
+    result: ScanResult
+
+
+#: What an ``execute_batch`` observer receives.
+StreamEvent = PartialResult | QueryDone
 
 
 @dataclass
@@ -129,8 +163,30 @@ class QueryExecutor:
     # Single-query execution (the Scan path)
     # ------------------------------------------------------------------
     def execute(self, query: Query) -> ScanResult:
-        """Execute one query; uses TASM's persistent tile cache when enabled."""
-        return self._serve(self._plan(query), self._tasm._decoder)
+        """Execute one query; uses TASM's persistent tile cache when enabled.
+
+        Server-safe: the plan runs under a read lock on the video (so it sees
+        a consistent semantic index) and the decode under read locks on every
+        SOT it touches (so a concurrent ``retile_sot`` can never swap a
+        bitstream mid-scan).
+        """
+        locks = self._tasm.locks
+        video_held = locks.acquire_read([(query.video, VIDEO_LEVEL)])
+        sot_held: list = []
+        try:
+            # The video-level key only guards the index read during planning;
+            # release it before decoding so a pending metadata write stalls
+            # new planners, not this whole scan.
+            try:
+                plan = self._plan(query)
+                sot_held = locks.acquire_read(
+                    (plan.video, sot_index) for sot_index, _ in plan.sot_requests
+                )
+            finally:
+                locks.release_read(video_held)
+            return self._serve(plan, self._tasm._decoder)
+        finally:
+            locks.release_read(sot_held)
 
     # ------------------------------------------------------------------
     # Batched execution
@@ -139,6 +195,7 @@ class QueryExecutor:
         self,
         queries: Sequence[Query],
         max_workers: int | None = None,
+        observer: Callable[[StreamEvent], None] | None = None,
     ) -> BatchResult:
         """Execute a batch of queries, decoding each needed tile at most once.
 
@@ -148,7 +205,43 @@ class QueryExecutor:
         Otherwise an unbounded cache scoped to this batch provides the
         intra-batch sharing.  ``max_workers`` overrides
         ``TasmConfig.executor_threads`` for the SOT prefetch fan-out.
+
+        ``observer``, when given, receives streaming events from the serving
+        thread: a :class:`PartialResult` the moment each SOT's regions for a
+        query are assembled (before later SOTs have been decoded) and a
+        :class:`QueryDone` once a query's last SOT is served — the hook the
+        service layer streams per-SOT results to clients through.  Events for
+        one query arrive in result order; a query touching no SOT completes
+        immediately after planning.
+
+        Like ``execute``, the batch holds read locks on each touched video
+        while planning (released before decoding, so metadata writes only
+        serialize against planners) and on every ``(video, SOT)`` it decodes
+        for the decode's duration, so concurrent re-tiles serialize against
+        it instead of corrupting it.
         """
+        locks = self._tasm.locks
+        video_held = locks.acquire_read(
+            {(query.video, VIDEO_LEVEL) for query in queries}
+        )
+        sot_held: list = []
+        try:
+            return self._execute_batch_locked(
+                queries, max_workers, observer, locks, video_held, sot_held
+            )
+        finally:
+            locks.release_read(video_held)
+            locks.release_read(sot_held)
+
+    def _execute_batch_locked(
+        self,
+        queries: Sequence[Query],
+        max_workers: int | None,
+        observer: Callable[[StreamEvent], None] | None,
+        locks,
+        video_held: list,
+        sot_held: list,
+    ) -> BatchResult:
         plans = [self._plan(query) for query in queries]
         index_seconds = sum(plan.index_seconds for plan in plans)
 
@@ -172,6 +265,14 @@ class QueryExecutor:
                 union.setdefault(key, []).extend(requests)
                 members.setdefault(key, []).append((plan_index, requests))
 
+        # Decodes happen under read locks on every SOT the batch touches, so
+        # no retile can swap a bitstream mid-batch; the video-level keys have
+        # done their job (planning is over) and are released so metadata
+        # writes need not wait out the decode phase.
+        sot_held += locks.acquire_read(union)
+        locks.release_read(video_held)
+        video_held.clear()
+
         # Materialise encoded SOTs up front: lazy first-touch encoding is not
         # thread-safe, and the serve phase needs them anyway.
         encoded = {
@@ -183,6 +284,13 @@ class QueryExecutor:
             ScanResult(video=plan.video, index_seconds=plan.index_seconds)
             for plan in plans
         ]
+        # Streaming bookkeeping: how many SOT groups each query still waits
+        # on; a query is done the moment its count reaches zero.
+        pending_sots = [len(plan.sot_requests) for plan in plans]
+        if observer is not None:
+            for plan_index, remaining in enumerate(pending_sots):
+                if remaining == 0:
+                    observer(QueryDone(plan_index, results[plan_index]))
         warm_stats = DecodeStats()
         warm_seconds = 0.0
         serve_seconds = 0.0
@@ -195,10 +303,24 @@ class QueryExecutor:
             """Answer every query's requests for one SOT from the warm cache."""
             elapsed = 0.0
             for plan_index, requests in members[key]:
+                result = results[plan_index]
+                regions_before = len(result.regions)
                 decoded = decoder.decode_regions(encoded[key], requests, scope=key[0])
-                self._apply_decoded(results[plan_index], decoded)
-                results[plan_index].decode_seconds += decoded.elapsed_seconds
+                self._apply_decoded(result, decoded)
+                result.decode_seconds += decoded.elapsed_seconds
                 elapsed += decoded.elapsed_seconds
+                pending_sots[plan_index] -= 1
+                if observer is not None:
+                    observer(
+                        PartialResult(
+                            query_index=plan_index,
+                            video=key[0],
+                            sot_index=key[1],
+                            regions=tuple(result.regions[regions_before:]),
+                        )
+                    )
+                    if pending_sots[plan_index] == 0:
+                        observer(QueryDone(plan_index, result))
             if batch_scoped_cache:
                 # Served SOTs are never revisited (ordered_keys is visited
                 # once, ascending), so a batch-scoped cache can release them —

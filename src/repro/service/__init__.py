@@ -1,0 +1,39 @@
+"""The TASM service layer: a concurrent, multi-client server over one TASM.
+
+PR 1 made batches cheap (one decode per tile per batch, a persistent
+:class:`~repro.exec.cache.TileDecodeCache`); this package makes those wins
+available to *many concurrent callers*, the deployment VSS targets:
+
+* :class:`~repro.service.server.TasmServer` — owns a single TASM plus one
+  process-wide tile cache; queries from all clients funnel through a
+  batching window (``TasmConfig.service_batch_window_ms`` /
+  ``service_max_batch``) so overlapping requests share decodes, and writes
+  (``add_metadata``, ``retile_sot``) serialize against in-flight scans via
+  per-``(video, SOT)`` readers-writer locks.
+* :class:`~repro.service.client.TasmClient` — the in-process client handle:
+  blocking ``scan`` or streaming ``scan_streaming`` (results arrive per SOT,
+  before the batch's later SOTs have decoded).
+* :class:`~repro.service.scheduler.BatchScheduler` / ``ResultStream`` — the
+  batching loop and the per-query stream handle.
+* :class:`~repro.service.transport.SocketTransport` /
+  ``RemoteTasmClient`` — a thin length-prefixed-JSON socket transport for
+  cross-process callers.
+"""
+
+from .scheduler import BatchScheduler, ResultStream, StreamChunk
+from .server import DEFAULT_SERVER_CACHE_BYTES, ServerStats, TasmServer
+from .client import TasmClient
+from .transport import RemoteScanStream, RemoteTasmClient, SocketTransport
+
+__all__ = [
+    "BatchScheduler",
+    "DEFAULT_SERVER_CACHE_BYTES",
+    "RemoteScanStream",
+    "RemoteTasmClient",
+    "ResultStream",
+    "ServerStats",
+    "SocketTransport",
+    "StreamChunk",
+    "TasmClient",
+    "TasmServer",
+]

@@ -1,0 +1,76 @@
+"""In-process client for :class:`~repro.service.server.TasmServer`.
+
+A :class:`TasmClient` is a thin, thread-safe handle many threads of one
+process can share (each call builds independent state; the server side does
+the synchronisation).  The two query styles:
+
+* ``scan(...)`` — blocking, returns the complete ScanResult, byte-identical
+  to calling ``TASM.scan`` directly.
+* ``scan_streaming(...)`` / ``submit(query)`` — returns a
+  :class:`~repro.service.scheduler.ResultStream` immediately; iterate it for
+  per-SOT :class:`~repro.service.scheduler.StreamChunk` deliveries (the first
+  arrives while later SOTs are still decoding), or call ``.result()`` to
+  block for the whole thing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.predicates import LabelPredicate, TemporalPredicate
+from ..core.query import Query
+from ..core.scan import ScanResult
+from ..detection.base import Detection
+from .scheduler import ResultStream
+
+__all__ = ["TasmClient"]
+
+
+class TasmClient:
+    """A lightweight handle onto a running :class:`TasmServer`."""
+
+    def __init__(self, server):
+        self._server = server
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> ResultStream:
+        """Enqueue a prepared Query; returns its stream immediately."""
+        return self._server.submit(query)
+
+    def execute(self, query: Query) -> ScanResult:
+        """Blocking execution of a prepared Query."""
+        return self._server.submit(query).result()
+
+    def scan(
+        self,
+        video_name: str,
+        predicate: LabelPredicate | str | Sequence[str],
+        temporal: TemporalPredicate | None = None,
+    ) -> ScanResult:
+        """Blocking scan, mirroring ``TASM.scan``'s signature."""
+        return self._server.scan(video_name, predicate, temporal)
+
+    def scan_streaming(
+        self,
+        video_name: str,
+        predicate: LabelPredicate | str | Sequence[str],
+        temporal: TemporalPredicate | None = None,
+    ) -> ResultStream:
+        """Submit a scan and stream its results per SOT as they warm."""
+        return self._server.submit(
+            self._server._build_query(video_name, predicate, temporal)
+        )
+
+    # ------------------------------------------------------------------
+    # Writes and introspection (forwarded)
+    # ------------------------------------------------------------------
+    def add_metadata(self, *args, **kwargs) -> None:
+        self._server.add_metadata(*args, **kwargs)
+
+    def add_detections(self, video_id: str, detections: Iterable[Detection]) -> int:
+        return self._server.add_detections(video_id, detections)
+
+    def stats(self):
+        return self._server.stats()

@@ -1,0 +1,292 @@
+"""The batching scheduler: coalesces concurrent queries, streams results.
+
+Clients hand queries to :meth:`BatchScheduler.submit` and get a
+:class:`ResultStream` back immediately.  A dedicated scheduler thread pops
+the first pending query, keeps collecting arrivals for up to
+``TasmConfig.service_batch_window_ms`` (or until ``service_max_batch``
+queries are pending), then runs the whole group through one
+``TASM.execute_batch`` call — so concurrent clients asking about overlapping
+sequences of tiles share decodes instead of thrashing the cache with
+interleaved misses.  A window of 0 still coalesces whatever is already
+queued when a batch forms, which is what a saturated server wants.
+
+Streaming: the executor's observer hook fires per SOT, and the scheduler
+forwards each event into the owning query's stream, so a client iterating a
+:class:`ResultStream` sees its first SOT's regions while later SOTs of the
+same batch are still decoding.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from ..core.query import Query
+from ..core.scan import ScanRegion, ScanResult
+from ..errors import ServiceError
+from ..exec.engine import BatchResult, PartialResult, QueryDone
+from ..video.codec import DecodeStats
+
+__all__ = ["BatchScheduler", "ResultStream", "StreamChunk"]
+
+
+@dataclass(frozen=True)
+class StreamChunk:
+    """One SOT's worth of a query's results, delivered incrementally."""
+
+    sot_index: int
+    regions: tuple[ScanRegion, ...]
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+
+class ResultStream:
+    """A handle to one submitted query: iterate chunks, or block for the result.
+
+    Iterating yields :class:`StreamChunk` objects as the server serves each
+    SOT (ending when the query completes); :meth:`result` blocks until the
+    final :class:`~repro.core.scan.ScanResult` is ready.  Both can be used on
+    the same stream — ``result()`` does not consume the chunk queue.  If the
+    batch the query rode in failed, both raise :class:`ServiceError`.
+    """
+
+    def __init__(self, query: Query):
+        self.query = query
+        self.submitted_at = time.perf_counter()
+        #: Set (producer-side) when the first chunk was pushed; None until then.
+        self.first_chunk_at: float | None = None
+        self.completed_at: float | None = None
+        self._chunks: queue.SimpleQueue = queue.SimpleQueue()
+        self._done = threading.Event()
+        self._result: ScanResult | None = None
+        self._error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Producer side (scheduler thread)
+    # ------------------------------------------------------------------
+    def _push_chunk(self, chunk: StreamChunk) -> None:
+        if self.first_chunk_at is None:
+            self.first_chunk_at = time.perf_counter()
+        self._chunks.put(("chunk", chunk))
+
+    def _finish(self, result: ScanResult) -> None:
+        self._result = result
+        self.completed_at = time.perf_counter()
+        self._done.set()
+        self._chunks.put(("done", None))
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.completed_at = time.perf_counter()
+        self._done.set()
+        self._chunks.put(("error", error))
+
+    # ------------------------------------------------------------------
+    # Consumer side (client thread)
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[StreamChunk]:
+        while True:
+            kind, payload = self._chunks.get()
+            if kind == "chunk":
+                yield payload
+            elif kind == "error":
+                raise ServiceError(f"query failed in its batch: {payload}") from payload
+            else:
+                return
+
+    def result(self, timeout: float | None = None) -> ScanResult:
+        """Block until the query completes; the full, in-order ScanResult."""
+        if not self._done.wait(timeout):
+            raise ServiceError(f"query did not complete within {timeout} seconds")
+        if self._error is not None:
+            raise ServiceError(
+                f"query failed in its batch: {self._error}"
+            ) from self._error
+        assert self._result is not None
+        return self._result
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def first_result_seconds(self) -> float | None:
+        """Latency from submission to the first streamed chunk (producer side)."""
+        if self.first_chunk_at is None:
+            return None
+        return self.first_chunk_at - self.submitted_at
+
+    @property
+    def total_seconds(self) -> float | None:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+#: Queue sentinel asking the scheduler thread to exit.
+_SHUTDOWN = object()
+
+
+class BatchScheduler:
+    """Owns the request queue and the batch-forming loop."""
+
+    def __init__(
+        self,
+        tasm,
+        window_ms: float,
+        max_batch: int,
+        on_query_done: Callable[[Query, ScanResult], None] | None = None,
+        on_batch_done: Callable[[BatchResult], None] | None = None,
+    ):
+        self._tasm = tasm
+        self._window_seconds = window_ms / 1000.0
+        self._max_batch = max_batch
+        self._on_query_done = on_query_done
+        self._on_batch_done = on_batch_done
+        self._queue: queue.Queue = queue.Queue()
+        self._thread: threading.Thread | None = None
+        self._running = False
+        self._state_lock = threading.Lock()
+        # Counters (read by TasmServer.stats; written by one thread each).
+        self.batches_executed = 0
+        self.queries_completed = 0
+        self.total_stats = DecodeStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        with self._state_lock:
+            if self._running:
+                return
+            if self._thread is not None and self._thread.is_alive():
+                # A previous stop() timed out mid-batch; a second consumer
+                # thread on the same queue would race it and its _drain.
+                raise ServiceError(
+                    "scheduler is still draining a previous stop; retry later"
+                )
+            self._running = True
+            self._thread = threading.Thread(
+                target=self._run, name="tasm-batch-scheduler", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        with self._state_lock:
+            if not self._running:
+                return
+            # Flipping _running and posting the sentinel under the state lock
+            # orders every submit() against shutdown: a stream enqueued at
+            # all is enqueued before the sentinel, so the scheduler thread
+            # either executes it or fails it in _drain — no silent hangs.
+            self._running = False
+            self._queue.put(_SHUTDOWN)
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries accepted but not yet dispatched into a batch."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> ResultStream:
+        stream = ResultStream(query)
+        with self._state_lock:
+            if not self._running:
+                raise ServiceError("the server is not running")
+            self._queue.put(stream)
+        return stream
+
+    # ------------------------------------------------------------------
+    # The batch-forming loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch = [item]
+            if not self._collect(batch):
+                self._execute(batch)
+                break
+            self._execute(batch)
+        self._drain()
+
+    def _collect(self, batch: list[ResultStream]) -> bool:
+        """Fill ``batch`` up to the window/size limits; False on shutdown."""
+        deadline = time.monotonic() + self._window_seconds
+        while len(batch) < self._max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                return True
+            if item is _SHUTDOWN:
+                return False
+            batch.append(item)
+        return True
+
+    def _execute(self, batch: Sequence[ResultStream]) -> None:
+        def observer(event) -> None:
+            if isinstance(event, PartialResult):
+                batch[event.query_index]._push_chunk(
+                    StreamChunk(sot_index=event.sot_index, regions=event.regions)
+                )
+            elif isinstance(event, QueryDone):
+                stream = batch[event.query_index]
+                if self._on_query_done is not None:
+                    self._on_query_done(stream.query, event.result)
+                stream._finish(event.result)
+
+        try:
+            result = self._tasm.execute_batch(
+                [stream.query for stream in batch], observer=observer
+            )
+        except BaseException as error:  # noqa: BLE001 — must fail the waiters
+            # One bad query (unknown video, malformed predicate) must not
+            # poison the batch it rode in with: retry untouched queries
+            # individually so only the offender fails.  A query that already
+            # streamed chunks cannot be replayed without duplicating them,
+            # so it fails with the batch's error.
+            if len(batch) == 1:
+                if not batch[0].done:
+                    batch[0]._fail(error)
+                return
+            for stream in batch:
+                if stream.done:
+                    continue
+                if stream.first_chunk_at is not None:
+                    stream._fail(error)
+                else:
+                    self._execute([stream])
+            return
+        self.batches_executed += 1
+        self.queries_completed += len(batch)
+        self.total_stats.merge(result.stats)
+        if self._on_batch_done is not None:
+            self._on_batch_done(result)
+
+    def _drain(self) -> None:
+        """Fail anything still queued once the scheduler stops."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not _SHUTDOWN:
+                item._fail(ServiceError("the server was stopped"))

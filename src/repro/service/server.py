@@ -1,0 +1,251 @@
+"""``TasmServer`` — one TASM, one shared cache, many concurrent clients.
+
+The paper's TASM is a library a single query processor links against; the
+serving deployment the VSS line of work targets is different: many clients
+hammer one storage manager, and the wins come from *sharing* — one
+process-wide :class:`~repro.exec.cache.TileDecodeCache` so any client's
+decode warms every other client, and a batching window so queries that
+arrive together are planned together and touch each tile once.
+
+The server owns:
+
+* a single :class:`~repro.core.tasm.TASM` (constructed from a config, or
+  supplied by the caller) whose persistent tile cache is guaranteed to exist
+  — a TASM configured without one is given a server cache, because a server
+  without cross-query reuse is pointless;
+* a :class:`~repro.service.scheduler.BatchScheduler` that coalesces queries
+  arriving within ``TasmConfig.service_batch_window_ms`` (or up to
+  ``service_max_batch``) into one ``execute_batch`` call and streams each
+  query's results back per SOT;
+* the write path: ``add_metadata`` / ``add_detections`` / ``retile_sot``
+  forward to TASM, whose per-``(video, SOT)`` readers-writer locks serialize
+  them against in-flight scans.
+
+In-process callers use :class:`~repro.service.client.TasmClient` (via
+:meth:`TasmServer.connect`); cross-process callers attach through the
+length-prefixed-JSON socket transport in :mod:`repro.service.transport`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..config import TasmConfig
+from ..core.predicates import LabelPredicate, TemporalPredicate
+from ..core.query import Query
+from ..core.scan import ScanResult
+from ..core.tasm import TASM
+from ..detection.base import Detection
+from ..exec.cache import TileDecodeCache
+from ..storage.tiled_video import RetileRecord
+from ..tiles.layout import TileLayout
+from .scheduler import BatchScheduler, ResultStream
+
+__all__ = ["DEFAULT_SERVER_CACHE_BYTES", "ServerStats", "TasmServer"]
+
+#: Cache capacity granted to a TASM that reaches the server without one.
+DEFAULT_SERVER_CACHE_BYTES = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """A point-in-time snapshot of the server's behaviour."""
+
+    uptime_seconds: float
+    queries_submitted: int
+    queries_completed: int
+    #: Completed queries per second of uptime.
+    qps: float
+    #: Queries accepted but not yet dispatched into a batch.
+    queue_depth: int
+    batches_executed: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    cache_bytes: int
+    cache_entries: int
+    pixels_decoded: int
+    pixels_served_from_cache: int
+    #: Per object class: decode work done and cache work saved for queries
+    #: naming that class.  A multi-label query contributes to every class it
+    #: names, so the per-class figures attribute shared work, not split it.
+    decode_work_by_label: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """A JSON-serialisable form (used by the socket transport)."""
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "queries_submitted": self.queries_submitted,
+            "queries_completed": self.queries_completed,
+            "qps": self.qps,
+            "queue_depth": self.queue_depth,
+            "batches_executed": self.batches_executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_bytes": self.cache_bytes,
+            "cache_entries": self.cache_entries,
+            "pixels_decoded": self.pixels_decoded,
+            "pixels_served_from_cache": self.pixels_served_from_cache,
+            "decode_work_by_label": {
+                label: dict(work)
+                for label, work in self.decode_work_by_label.items()
+            },
+        }
+
+
+class TasmServer:
+    """A concurrent, multi-client front end over one TASM instance."""
+
+    def __init__(
+        self,
+        tasm: TASM | None = None,
+        config: TasmConfig | None = None,
+        cache_bytes: int | None = None,
+    ):
+        if tasm is not None and config is not None:
+            raise ValueError("pass either a TASM instance or a config, not both")
+        if tasm is None:
+            config = config or TasmConfig()
+            if config.decode_cache_bytes == 0:
+                config = config.with_updates(
+                    decode_cache_bytes=cache_bytes or DEFAULT_SERVER_CACHE_BYTES
+                )
+            tasm = TASM(config=config)
+        elif tasm.tile_cache is None:
+            # A server without a shared cache cannot share decodes across
+            # clients; grant the TASM one rather than silently serving cold.
+            tasm.tile_cache = TileDecodeCache(
+                cache_bytes or DEFAULT_SERVER_CACHE_BYTES,
+                eviction_policy=tasm.config.eviction_policy,
+                cost=tasm.config.cost,
+            )
+            tasm._decoder.cache = tasm.tile_cache
+        self.tasm = tasm
+        self._scheduler = BatchScheduler(
+            tasm,
+            window_ms=tasm.config.service_batch_window_ms,
+            max_batch=tasm.config.service_max_batch,
+            on_query_done=self._record_query_done,
+        )
+        self._started_at: float | None = None
+        self._stats_lock = threading.Lock()
+        self._queries_submitted = 0
+        self._work_by_label: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TasmServer":
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        self._scheduler.start()
+        return self
+
+    def stop(self) -> None:
+        self._scheduler.stop()
+
+    def __enter__(self) -> "TasmServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._scheduler.running
+
+    def connect(self):
+        """An in-process client bound to this server."""
+        from .client import TasmClient
+
+        return TasmClient(self)
+
+    # ------------------------------------------------------------------
+    # The read path: queries
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> ResultStream:
+        """Enqueue a query; returns immediately with its result stream."""
+        stream = self._scheduler.submit(query)  # may refuse: count only accepted
+        with self._stats_lock:
+            self._queries_submitted += 1
+        return stream
+
+    def scan(
+        self,
+        video_name: str,
+        predicate: LabelPredicate | str | Sequence[str],
+        temporal: TemporalPredicate | None = None,
+    ) -> ScanResult:
+        """Blocking convenience: submit one scan and wait for its result."""
+        return self.submit(self._build_query(video_name, predicate, temporal)).result()
+
+    def _build_query(
+        self,
+        video_name: str,
+        predicate: LabelPredicate | str | Sequence[str],
+        temporal: TemporalPredicate | None,
+    ) -> Query:
+        return Query(
+            video=video_name,
+            predicate=TASM._normalise_predicate(predicate),
+            temporal=temporal or TemporalPredicate.everything(),
+        )
+
+    # ------------------------------------------------------------------
+    # The write path: forwarded to TASM, whose locks serialize them
+    # ------------------------------------------------------------------
+    def add_metadata(self, *args, **kwargs) -> None:
+        self.tasm.add_metadata(*args, **kwargs)
+
+    def add_detections(self, video_id: str, detections: Iterable[Detection]) -> int:
+        return self.tasm.add_detections(video_id, detections)
+
+    def retile_sot(
+        self, video_name: str, sot_index: int, layout: TileLayout
+    ) -> RetileRecord:
+        return self.tasm.retile_sot(video_name, sot_index, layout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _record_query_done(self, query: Query, result: ScanResult) -> None:
+        with self._stats_lock:
+            for label in query.objects or frozenset(("<unlabelled>",)):
+                work = self._work_by_label.setdefault(
+                    label, {"pixels_decoded": 0, "pixels_served_from_cache": 0, "queries": 0}
+                )
+                work["pixels_decoded"] += result.pixels_decoded
+                work["pixels_served_from_cache"] += result.pixels_served_from_cache
+                work["queries"] += 1
+
+    def stats(self) -> ServerStats:
+        """A consistent snapshot of throughput, cache, and per-class work."""
+        cache = self.tasm.tile_cache
+        cache_stats = cache.stats.snapshot() if cache is not None else None
+        uptime = (
+            time.perf_counter() - self._started_at if self._started_at is not None else 0.0
+        )
+        completed = self._scheduler.queries_completed
+        with self._stats_lock:
+            submitted = self._queries_submitted
+            by_label = {label: dict(work) for label, work in self._work_by_label.items()}
+        return ServerStats(
+            uptime_seconds=uptime,
+            queries_submitted=submitted,
+            queries_completed=completed,
+            qps=completed / uptime if uptime > 0 else 0.0,
+            queue_depth=self._scheduler.queue_depth,
+            batches_executed=self._scheduler.batches_executed,
+            cache_hits=cache_stats.hits if cache_stats else 0,
+            cache_misses=cache_stats.misses if cache_stats else 0,
+            cache_hit_rate=cache_stats.hit_rate if cache_stats else 0.0,
+            cache_bytes=cache.current_bytes if cache is not None else 0,
+            cache_entries=len(cache) if cache is not None else 0,
+            pixels_decoded=self._scheduler.total_stats.pixels_decoded,
+            pixels_served_from_cache=self._scheduler.total_stats.pixels_served_from_cache,
+            decode_work_by_label=by_label,
+        )

@@ -1,0 +1,395 @@
+"""A thin length-prefixed-JSON socket transport for cross-process clients.
+
+Framing: every message is a 4-byte big-endian length followed by that many
+bytes of UTF-8 JSON.  Pixel payloads ride inside the JSON as base64 so the
+protocol stays one self-describing frame type end to end — this transport
+optimises for being debuggable and dependency-free, not for wire efficiency
+(in-process clients should use :class:`~repro.service.client.TasmClient`).
+
+Requests (one in flight per connection; open several connections for
+concurrency — the server coalesces them into shared batches):
+
+* ``{"op": "scan", "video": ..., "labels": [...], "frame_start": null|int,
+  "frame_stop": null|int}`` — streams back ``{"type": "partial", ...}``
+  frames (one per SOT, carrying the regions' pixels) followed by one
+  ``{"type": "done", ...}`` frame with the scan's accounting.
+* ``{"op": "add_metadata", "video": ..., "frame": ..., "label": ...,
+  "x1": ..., "y1": ..., "x2": ..., "y2": ...}`` — ``{"type": "ok"}``.
+* ``{"op": "stats"}`` — ``{"type": "stats", ...server stats...}``.
+
+Errors come back as ``{"type": "error", "message": ...}`` and leave the
+connection usable.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+import threading
+from typing import Iterator
+
+import numpy as np
+
+from ..core.predicates import TemporalPredicate
+from ..core.scan import ScanRegion, ScanResult
+from ..errors import ServiceError
+from ..geometry import Rectangle
+from ..video.codec import DecodeStats
+
+__all__ = ["RemoteScanStream", "RemoteTasmClient", "SocketTransport"]
+
+_LENGTH = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def send_message(sock: socket.socket, message: dict) -> None:
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """The next framed message, or None on a clean EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    return json.loads(payload.decode("utf-8"))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            return None
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+# ----------------------------------------------------------------------
+# Region (de)serialisation
+# ----------------------------------------------------------------------
+def _encode_region(region: ScanRegion) -> dict:
+    pixels = np.ascontiguousarray(region.pixels)
+    return {
+        "frame_index": region.frame_index,
+        "region": [region.region.x1, region.region.y1, region.region.x2, region.region.y2],
+        "label": region.label,
+        "shape": list(pixels.shape),
+        "dtype": str(pixels.dtype),
+        "pixels": base64.b64encode(pixels.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_region(message: dict) -> ScanRegion:
+    pixels = np.frombuffer(
+        base64.b64decode(message["pixels"]), dtype=np.dtype(message["dtype"])
+    ).reshape(message["shape"])
+    x1, y1, x2, y2 = message["region"]
+    return ScanRegion(
+        frame_index=message["frame_index"],
+        region=Rectangle(x1, y1, x2, y2),
+        pixels=pixels,
+        label=message["label"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Server side
+# ----------------------------------------------------------------------
+class SocketTransport:
+    """Accepts socket connections and forwards them onto a TasmServer.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction.  Each connection is served by its own thread, so the
+    server's batching window still coalesces queries across connections.
+    """
+
+    def __init__(self, server, host: str = "127.0.0.1", port: int = 0):
+        self._server = server
+        self._listener = socket.create_server((host, port))
+        # A blocked accept() is not reliably interrupted by close() on every
+        # platform; a short timeout lets the accept loop poll _running.
+        self._listener.settimeout(0.2)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread: threading.Thread | None = None
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+        self._running = False
+
+    def start(self) -> "SocketTransport":
+        if self._running:
+            return self
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tasm-socket-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._listener.close()
+        with self._connections_lock:
+            doomed = list(self._connections)
+        for conn in doomed:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "SocketTransport":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            conn.settimeout(None)
+            with self._connections_lock:
+                self._connections.add(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="tasm-socket-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                message = recv_message(conn)
+                if message is None:
+                    return
+                try:
+                    self._handle(conn, message)
+                except (BrokenPipeError, ConnectionError, OSError):
+                    return
+                except Exception as error:  # noqa: BLE001 — report, keep serving
+                    send_message(conn, {"type": "error", "message": str(error)})
+        except (ConnectionError, OSError):
+            return
+        finally:
+            with self._connections_lock:
+                self._connections.discard(conn)
+            conn.close()
+
+    def _handle(self, conn: socket.socket, message: dict) -> None:
+        op = message.get("op")
+        if op == "scan":
+            self._handle_scan(conn, message)
+        elif op == "add_metadata":
+            self._server.add_metadata(
+                message["video"],
+                message["frame"],
+                message["label"],
+                message["x1"],
+                message["y1"],
+                message["x2"],
+                message["y2"],
+                confidence=message.get("confidence", 1.0),
+            )
+            send_message(conn, {"type": "ok"})
+        elif op == "stats":
+            send_message(conn, {"type": "stats", **self._server.stats().as_dict()})
+        else:
+            send_message(conn, {"type": "error", "message": f"unknown op {op!r}"})
+
+    def _handle_scan(self, conn: socket.socket, message: dict) -> None:
+        labels = message["labels"]
+        temporal = None
+        if message.get("frame_start") is not None or message.get("frame_stop") is not None:
+            temporal = TemporalPredicate(
+                message.get("frame_start"), message.get("frame_stop")
+            )
+        query = self._server._build_query(
+            message["video"],
+            labels if len(labels) != 1 else labels[0],
+            temporal,
+        )
+        stream = self._server.submit(query)
+        for chunk in stream:
+            send_message(
+                conn,
+                {
+                    "type": "partial",
+                    "sot_index": chunk.sot_index,
+                    "regions": [_encode_region(region) for region in chunk.regions],
+                },
+            )
+        result = stream.result()
+        send_message(
+            conn,
+            {
+                "type": "done",
+                "video": result.video,
+                "index_seconds": result.index_seconds,
+                "decode_seconds": result.decode_seconds,
+                "stats": {
+                    "pixels_decoded": result.stats.pixels_decoded,
+                    "tiles_decoded": result.stats.tiles_decoded,
+                    "frames_decoded": result.stats.frames_decoded,
+                    "cache_hits": result.stats.cache_hits,
+                    "cache_misses": result.stats.cache_misses,
+                    "pixels_served_from_cache": result.stats.pixels_served_from_cache,
+                },
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Client side
+# ----------------------------------------------------------------------
+class RemoteScanStream:
+    """Client-side mirror of :class:`ResultStream` over the socket protocol.
+
+    Iterate for ``(sot_index, [ScanRegion, ...])`` chunks as the server
+    streams them; :meth:`result` consumes the remainder and returns the
+    assembled :class:`ScanResult`.  The stream must be fully consumed (or
+    ``result()`` called) before the owning connection can issue its next
+    request.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._regions: list[ScanRegion] = []
+        self._result: ScanResult | None = None
+
+    def __iter__(self) -> Iterator[tuple[int, list[ScanRegion]]]:
+        while self._result is None:
+            message = recv_message(self._sock)
+            if message is None:
+                raise ServiceError("connection closed mid-stream")
+            kind = message["type"]
+            if kind == "partial":
+                regions = [_decode_region(encoded) for encoded in message["regions"]]
+                self._regions.extend(regions)
+                yield message["sot_index"], regions
+            elif kind == "done":
+                self._result = self._assemble(message)
+            elif kind == "error":
+                raise ServiceError(message["message"])
+            else:
+                raise ServiceError(f"unexpected frame {kind!r} in scan stream")
+
+    def result(self) -> ScanResult:
+        for _ in self:
+            pass
+        assert self._result is not None
+        return self._result
+
+    def _assemble(self, done: dict) -> ScanResult:
+        stats = DecodeStats(**done["stats"])
+        return ScanResult(
+            video=done["video"],
+            regions=self._regions,
+            stats=stats,
+            index_seconds=done["index_seconds"],
+            decode_seconds=done["decode_seconds"],
+        )
+
+
+class RemoteTasmClient:
+    """Connects to a :class:`SocketTransport`; one request in flight at a time."""
+
+    def __init__(self, address: tuple[str, int], timeout: float | None = 30.0):
+        self._sock = socket.create_connection(address, timeout=timeout)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteTasmClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def scan_streaming(
+        self,
+        video: str,
+        labels: list[str] | str,
+        frame_start: int | None = None,
+        frame_stop: int | None = None,
+    ) -> RemoteScanStream:
+        if isinstance(labels, str):
+            labels = [labels]
+        send_message(
+            self._sock,
+            {
+                "op": "scan",
+                "video": video,
+                "labels": labels,
+                "frame_start": frame_start,
+                "frame_stop": frame_stop,
+            },
+        )
+        return RemoteScanStream(self._sock)
+
+    def scan(
+        self,
+        video: str,
+        labels: list[str] | str,
+        frame_start: int | None = None,
+        frame_stop: int | None = None,
+    ) -> ScanResult:
+        return self.scan_streaming(video, labels, frame_start, frame_stop).result()
+
+    def add_metadata(
+        self,
+        video: str,
+        frame: int,
+        label: str,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        confidence: float = 1.0,
+    ) -> None:
+        send_message(
+            self._sock,
+            {
+                "op": "add_metadata",
+                "video": video,
+                "frame": frame,
+                "label": label,
+                "x1": x1,
+                "y1": y1,
+                "x2": x2,
+                "y2": y2,
+                "confidence": confidence,
+            },
+        )
+        reply = recv_message(self._sock)
+        if reply is None or reply.get("type") != "ok":
+            raise ServiceError(f"add_metadata failed: {reply}")
+
+    def stats(self) -> dict:
+        send_message(self._sock, {"op": "stats"})
+        reply = recv_message(self._sock)
+        if reply is None or reply.get("type") != "stats":
+            raise ServiceError(f"stats failed: {reply}")
+        return reply

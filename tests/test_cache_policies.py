@@ -1,0 +1,110 @@
+"""Tests for the tile-decode cache's pluggable eviction policies.
+
+The ``"cost"`` policy is GDSF-style: each entry is valued at its
+reconstruction cost under the paper's fitted decode model,
+``beta * P + gamma * T``, per byte cached, scaled by its hit frequency and
+aged by a global clock.  The behavioural claim pinned here is the one that
+motivates it: a tile that is expensive to re-decode per cached byte (small,
+hot — the fixed per-tile cost ``gamma`` amortises over few bytes) survives
+pressure that plain LRU would evict it under.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CostCoefficients, TasmConfig
+from repro.core.tasm import TASM
+from repro.errors import ConfigurationError
+from repro.exec import TileDecodeCache
+from tests.conftest import build_tiny_video
+from tests.test_exec_engine import assert_scan_results_identical, make_tasm
+
+
+def _fill_shared_prefix(cache: TileDecodeCache) -> None:
+    """The access pattern both policies see: a small hot entry, then pressure.
+
+    A (500 bytes) is inserted and hit five times; B and C (1000 bytes each)
+    follow, pushing the cache (capacity 2000) over budget by 500 bytes.
+    """
+    hot = np.zeros((5, 100), dtype=np.uint8)  # 500 bytes, 500 pixels
+    cold = np.zeros((10, 100), dtype=np.uint8)  # 1000 bytes each
+    cache.put(("v", 0, 0, 0), [hot], token=(1,))
+    for _ in range(5):
+        assert cache.get(("v", 0, 0, 0), min_depth=0, token=(1,)) is not None
+    cache.put(("v", 0, 0, 1), [cold], token=(2,))
+    cache.put(("v", 0, 0, 2), [cold], token=(3,))
+
+
+class TestCostAwareEviction:
+    def test_cost_policy_retains_expensive_tile_lru_evicts(self):
+        """The headline behaviour: same workload, opposite eviction choices.
+
+        LRU only sees recency: the hot entry's last touch predates B and C's
+        insertions, so it is the victim.  The cost policy sees that the hot
+        entry carries ~2x the reconstruction cost per byte (gamma amortised
+        over 500 bytes instead of 1000) *and* a 6x frequency, so it evicts
+        the cold, cheap B instead.
+        """
+        lru = TileDecodeCache(capacity_bytes=2000, eviction_policy="lru")
+        cost = TileDecodeCache(capacity_bytes=2000, eviction_policy="cost")
+        _fill_shared_prefix(lru)
+        _fill_shared_prefix(cost)
+
+        assert ("v", 0, 0, 0) not in lru, "LRU must evict the stale-but-hot entry"
+        assert ("v", 0, 0, 1) in lru and ("v", 0, 0, 2) in lru
+
+        assert ("v", 0, 0, 0) in cost, "cost policy must keep the expensive tile"
+        assert ("v", 0, 0, 1) not in cost, "the cold cheap entry is the victim"
+        assert ("v", 0, 0, 2) in cost
+
+    def test_byte_accounting_survives_cost_evictions(self):
+        cache = TileDecodeCache(capacity_bytes=2000, eviction_policy="cost")
+        _fill_shared_prefix(cache)
+        assert cache.current_bytes == 1500
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.stats.bytes_evicted == 1000
+
+    def test_clock_ages_out_formerly_hot_entries(self):
+        """GDSF's clock: after enough evictions, frequency alone cannot pin
+        an entry forever — the inflation baked into new insertions passes it.
+        """
+        cache = TileDecodeCache(capacity_bytes=2000, eviction_policy="cost")
+        frame = np.zeros((10, 100), dtype=np.uint8)  # 1000 bytes
+        cache.put(("v", 0, 0, 0), [frame], token=(0,))
+        for _ in range(3):
+            cache.get(("v", 0, 0, 0), min_depth=0, token=(0,))
+        # Stream distinct single-use entries through the other 1000 bytes.
+        for index in range(1, 50):
+            cache.put(("v", 0, 0, index), [frame], token=(index,))
+        assert ("v", 0, 0, 0) not in cache, "the clock must eventually age it out"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            TileDecodeCache(capacity_bytes=1000, eviction_policy="mru")
+        with pytest.raises(ConfigurationError):
+            TasmConfig(eviction_policy="mru")
+
+    def test_tasm_plumbs_policy_and_coefficients(self, config):
+        cost = CostCoefficients(beta=2.0e-6, gamma=8.0e-2)
+        tasm = TASM(
+            config=config.with_updates(
+                decode_cache_bytes=1 << 20, eviction_policy="cost", cost=cost
+            )
+        )
+        assert tasm.tile_cache.eviction_policy == "cost"
+        assert tasm.tile_cache.cost == cost
+
+    def test_scans_identical_under_thrashing_cost_cache(self, config):
+        """Eviction policy is a performance knob, never a correctness one."""
+        cached, video = make_tasm(
+            config.with_updates(eviction_policy="cost"), cache_bytes=70_000
+        )
+        reference, _ = make_tasm(config)
+        for label in ("car", "person", "car", "sign", "car"):
+            assert_scan_results_identical(
+                cached.scan(video.name, label), reference.scan(video.name, label)
+            )
+        assert cached.tile_cache.stats.evictions > 0, "capacity must force evictions"

@@ -1,0 +1,349 @@
+"""Tests for the TASM service layer (``repro.service``).
+
+The contracts pinned here:
+
+* results served through ``TasmServer`` — blocking, streaming, in-process or
+  over the socket transport — are byte-identical to direct ``TASM.scan``;
+* concurrent clients with overlapping queries share decodes: the server
+  decodes strictly fewer pixels than the same queries on independent TASM
+  instances would (the PR's acceptance criterion);
+* streaming is real: the first SOT's results reach the client before the
+  batch's last SOT has been decoded (asserted with an instrumented decoder
+  that refuses to decode the last SOT until the first chunk has landed);
+* the batching window and max-batch knobs actually coalesce.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import TasmConfig
+from repro.core.query import Query
+from repro.errors import ServiceError
+from repro.service import RemoteTasmClient, SocketTransport, TasmServer
+from tests.test_exec_engine import (
+    assert_scan_results_identical,
+    make_tasm,
+    random_queries,
+)
+
+CACHE_BYTES = 64 * 1024 * 1024
+
+
+def make_server(config: TasmConfig, **service_overrides) -> tuple[TasmServer, object]:
+    """A started server over the tiny scene (caller must stop it)."""
+    overrides = {"decode_cache_bytes": CACHE_BYTES, **service_overrides}
+    tasm, video = make_tasm(config.with_updates(**overrides))
+    return TasmServer(tasm).start(), video
+
+
+class TestServerBasics:
+    def test_client_scan_matches_direct_tasm(self, config):
+        server, video = make_server(config)
+        reference, _ = make_tasm(config)
+        try:
+            client = server.connect()
+            for label in ("car", "person", "sign"):
+                assert_scan_results_identical(
+                    client.scan(video.name, label), reference.scan(video.name, label)
+                )
+        finally:
+            server.stop()
+
+    def test_server_grants_cache_to_cacheless_tasm(self, config):
+        tasm, video = make_tasm(config)  # decode_cache_bytes = 0
+        assert tasm.tile_cache is None
+        server = TasmServer(tasm)
+        assert tasm.tile_cache is not None, "a server needs a shared cache"
+        assert tasm._decoder.cache is tasm.tile_cache
+        with server:
+            reference, _ = make_tasm(config)
+            assert_scan_results_identical(
+                server.scan(video.name, "car"), reference.scan(video.name, "car")
+            )
+
+    def test_submit_after_stop_raises(self, config):
+        server, video = make_server(config)
+        server.stop()
+        with pytest.raises(ServiceError):
+            server.submit(Query.select("car", video.name))
+
+    def test_no_match_query_completes_with_no_chunks(self, config):
+        server, video = make_server(config)
+        try:
+            stream = server.connect().scan_streaming(video.name, "unicorn")
+            assert list(stream) == []
+            assert stream.result().is_empty()
+        finally:
+            server.stop()
+
+    def test_config_rejects_both_tasm_and_config(self, config):
+        tasm, _ = make_tasm(config)
+        with pytest.raises(ValueError):
+            TasmServer(tasm, config=config)
+
+    def test_restart_after_clean_stop(self, config):
+        server, video = make_server(config)
+        reference, _ = make_tasm(config)
+        server.stop()
+        server.start()
+        try:
+            assert_scan_results_identical(
+                server.scan(video.name, "car"), reference.scan(video.name, "car")
+            )
+        finally:
+            server.stop()
+
+    def test_bad_query_does_not_poison_its_batch(self, config):
+        """A batch-mate's unknown video must fail only that query."""
+        server, video = make_server(
+            config, service_batch_window_ms=250.0, service_max_batch=16
+        )
+        reference, _ = make_tasm(config)
+        try:
+            good = server.submit(Query.select("car", video.name))
+            bad = server.submit(Query.select("car", "no-such-video"))
+            result = good.result(timeout=30)
+            with pytest.raises(ServiceError):
+                bad.result(timeout=30)
+            assert_scan_results_identical(result, reference.scan(video.name, "car"))
+        finally:
+            server.stop()
+
+
+class TestConcurrentClients:
+    def test_concurrent_overlapping_clients_share_decodes(self, config):
+        """Acceptance: >= 4 concurrent clients, byte-identical results, and
+        strictly fewer pixels decoded than 4 independent TASM instances."""
+        server, video = make_server(
+            config, service_batch_window_ms=50.0, service_max_batch=32
+        )
+        reference, _ = make_tasm(config)
+        client_queries = [
+            random_queries(video.name, video.frame_count, seed=seed, count=4)
+            for seed in range(4)
+        ]
+        results: dict[int, list] = {}
+        barrier = threading.Barrier(4)
+
+        def run_client(index: int) -> None:
+            client = server.connect()
+            barrier.wait()
+            results[index] = [client.execute(query) for query in client_queries[index]]
+
+        threads = [
+            threading.Thread(target=run_client, args=(index,)) for index in range(4)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+                assert not thread.is_alive(), "client thread deadlocked"
+        finally:
+            server.stop()
+
+        # Byte-identical to the sequential oracle, per client, per query.
+        independent_pixels = 0
+        for index, queries in enumerate(client_queries):
+            for result, query in zip(results[index], queries):
+                expected = reference.execute(query)
+                assert_scan_results_identical(result, expected)
+                independent_pixels += expected.pixels_decoded
+
+        served_pixels = server.stats().pixels_decoded
+        assert served_pixels < independent_pixels, (
+            f"shared serving must decode strictly fewer pixels "
+            f"({served_pixels} vs {independent_pixels} independently)"
+        )
+        assert server.stats().cache_hit_rate > 0.0
+
+    def test_batching_window_coalesces_concurrent_queries(self, config):
+        server, video = make_server(
+            config, service_batch_window_ms=250.0, service_max_batch=16
+        )
+        try:
+            streams = [
+                server.submit(Query.select(label, video.name))
+                for label in ("car", "person", "sign")
+            ]
+            for stream in streams:
+                stream.result(timeout=30)
+            assert server._scheduler.batches_executed == 1, (
+                "queries inside one window must form one batch"
+            )
+        finally:
+            server.stop()
+
+    def test_max_batch_bounds_coalescing(self, config):
+        server, video = make_server(
+            config, service_batch_window_ms=10_000.0, service_max_batch=2
+        )
+        try:
+            streams = [
+                server.submit(Query.select("car", video.name)) for _ in range(4)
+            ]
+            for stream in streams:
+                stream.result(timeout=30)
+            # A full batch must dispatch without waiting out the huge window.
+            assert server._scheduler.batches_executed == 2
+        finally:
+            server.stop()
+
+
+class TestStreaming:
+    def test_first_chunk_arrives_before_last_sot_decodes(self, config):
+        """The instrumented decoder refuses to prefetch the final SOT until
+        the client has received the first SOT's chunk: if streaming were
+        batch-at-the-end, this would deadlock (and the gate's timeout would
+        fail the batch)."""
+        server, video = make_server(config)
+        reference, _ = make_tasm(config)
+        tasm = server.tasm
+        last_sot = tasm.video(video.name).sot_count - 1
+        assert last_sot >= 2, "the streaming test needs at least three SOTs"
+
+        first_chunk_received = threading.Event()
+        gate_ok = []
+        original = tasm._decoder.prefetch_regions
+
+        def instrumented(sot, requests, scope):
+            if sot.sot_index == last_sot:
+                gate_ok.append(first_chunk_received.wait(timeout=30))
+            return original(sot, requests, scope)
+
+        tasm._decoder.prefetch_regions = instrumented
+        try:
+            stream = server.connect().scan_streaming(video.name, "car")
+            chunks = []
+            for chunk in stream:
+                chunks.append(chunk)
+                first_chunk_received.set()
+            result = stream.result()
+        finally:
+            tasm._decoder.prefetch_regions = original
+            server.stop()
+
+        assert gate_ok == [True], "first chunk must precede the last SOT's decode"
+        assert len(chunks) == last_sot + 1, "one chunk per SOT the query touches"
+        assert stream.first_result_seconds is not None
+        assert_scan_results_identical(result, reference.scan(video.name, "car"))
+        # The streamed chunks concatenate to exactly the final result.
+        streamed = [region for chunk in chunks for region in chunk.regions]
+        assert len(streamed) == len(result.regions)
+        for ours, theirs in zip(streamed, result.regions):
+            assert ours is theirs
+
+    def test_stream_of_failed_batch_raises_service_error(self, config):
+        server, video = make_server(config)
+        tasm = server.tasm
+
+        def explode(sot, requests, scope):
+            raise RuntimeError("decoder exploded")
+
+        tasm._decoder.prefetch_regions = explode
+        try:
+            stream = server.connect().scan_streaming(video.name, "car")
+            with pytest.raises(ServiceError):
+                list(stream)
+            with pytest.raises(ServiceError):
+                stream.result(timeout=10)
+        finally:
+            server.stop()
+
+
+class TestServerStats:
+    def test_counters_and_per_class_work(self, config):
+        server, video = make_server(config)
+        try:
+            client = server.connect()
+            client.scan(video.name, "car")
+            client.scan(video.name, "car")
+            client.scan(video.name, "person")
+            stats = server.stats()
+        finally:
+            server.stop()
+        assert stats.queries_submitted == 3
+        assert stats.queries_completed == 3
+        assert stats.queue_depth == 0
+        assert stats.qps > 0
+        assert stats.uptime_seconds > 0
+        # The repeated car scan was served from the shared cache.
+        assert stats.cache_hit_rate > 0.0
+        assert stats.pixels_decoded > 0
+        assert set(stats.decode_work_by_label) == {"car", "person"}
+        assert stats.decode_work_by_label["car"]["queries"] == 2
+        # Per-query attribution: under batched serving a query's regions come
+        # out of the warm cache, so per-class work shows up as cache-served
+        # pixels (the batch's decode work lives in the server-wide counter).
+        car_work = stats.decode_work_by_label["car"]
+        assert car_work["pixels_served_from_cache"] > 0
+        # The snapshot round-trips through JSON for the transport.
+        import json
+
+        assert json.loads(json.dumps(stats.as_dict())) == stats.as_dict()
+
+
+class TestSocketTransport:
+    def test_remote_scan_matches_direct(self, config):
+        server, video = make_server(config)
+        reference, _ = make_tasm(config)
+        try:
+            with SocketTransport(server) as transport:
+                with RemoteTasmClient(transport.address) as client:
+                    result = client.scan(video.name, "car")
+                    assert_scan_results_identical(
+                        result, reference.scan(video.name, "car")
+                    )
+                    ranged = client.scan(video.name, "person", frame_start=0, frame_stop=7)
+                    from repro.core.predicates import TemporalPredicate
+
+                    expected = reference.scan(
+                        video.name, "person", TemporalPredicate.between(0, 7)
+                    )
+                    assert_scan_results_identical(ranged, expected)
+        finally:
+            server.stop()
+
+    def test_remote_streaming_delivers_per_sot_chunks(self, config):
+        server, video = make_server(config)
+        try:
+            with SocketTransport(server) as transport:
+                with RemoteTasmClient(transport.address) as client:
+                    chunks = list(client.scan_streaming(video.name, "car"))
+                    assert len(chunks) >= 2, "a multi-SOT scan must stream chunks"
+                    sots = [sot_index for sot_index, _ in chunks]
+                    assert sots == sorted(sots)
+        finally:
+            server.stop()
+
+    def test_remote_add_metadata_and_stats(self, config):
+        server, video = make_server(config)
+        try:
+            with SocketTransport(server) as transport:
+                with RemoteTasmClient(transport.address) as client:
+                    client.add_metadata(video.name, 0, "landmark", 8, 8, 40, 40)
+                    result = client.scan(video.name, "landmark")
+                    assert len(result.regions) == 1
+                    assert result.regions[0].frame_index == 0
+                    stats = client.stats()
+                    assert stats["queries_completed"] >= 1
+                    assert "landmark" in stats["decode_work_by_label"]
+        finally:
+            server.stop()
+
+    def test_unknown_op_reports_error_and_connection_survives(self, config):
+        server, video = make_server(config)
+        try:
+            with SocketTransport(server) as transport:
+                from repro.service.transport import recv_message, send_message
+
+                with RemoteTasmClient(transport.address) as client:
+                    send_message(client._sock, {"op": "transmogrify"})
+                    reply = recv_message(client._sock)
+                    assert reply["type"] == "error"
+                    assert client.stats()["queries_submitted"] >= 0
+        finally:
+            server.stop()
