@@ -1,0 +1,249 @@
+"""Pipelined service throughput: the multiplexed wire and bounded streams.
+
+Three claims of the pipelining PR, measured end to end:
+
+* **Multiplexing pays.** One socket connection carrying N concurrent scans
+  (tagged query ids, demultiplexed client-side) finishes a decode-bound
+  workload faster than the same N scans issued back-to-back on that
+  connection, because the server coalesces the concurrent scans into shared
+  batches and the runner pool overlaps their execution — the wire is no
+  longer the serialisation point.
+* **The binary frame is cheaper than JSON+base64.** Pixel payloads ride as
+  length-prefixed raw bytes; the old encoding inflated every pixel ~1.33x
+  with base64 before wrapping it in JSON.
+* **Buffers hold their bound.** A deliberately slow consumer never observes
+  more than ``service_stream_buffer_chunks`` undelivered chunks server-side —
+  the producer suspends instead of buffering without limit.
+
+Results print in the same rows-of-dicts shape the other benchmarks use.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import threading
+import time
+
+from repro.analysis import format_table, prepare_tasm
+from repro.datasets import visual_road_scene
+from repro.service import RemoteTasmClient, SocketTransport, TasmServer
+from repro.service.transport import encode_chunk_payload
+
+from _bench_utils import print_section
+
+CACHE_BYTES = 64 * 1024 * 1024
+CONCURRENT_SCANS = (1, 4, 8)
+#: Simulated per-SOT decode latency: makes decode the dominant cost so the
+#: sequential-versus-multiplexed comparison measures scheduling, not noise.
+SLEEP_PER_SOT_SECONDS = 0.004
+STREAM_BUFFER_SWEEP = (1, 4)
+
+
+def _video():
+    return visual_road_scene(
+        "pipelining-road", duration_seconds=6.0, frame_rate=10, seed=402
+    )
+
+
+def _scan_jobs(video, count: int) -> list[tuple[str, int | None, int | None]]:
+    half = video.frame_count // 2
+    jobs = [
+        ("car", None, None),
+        ("person", None, None),
+        ("car", 0, half),
+        ("person", half, video.frame_count),
+        ("car", half // 2, half // 2 + half),
+        ("person", 0, half),
+        ("car", half, video.frame_count),
+        ("person", half // 2, video.frame_count),
+    ]
+    return jobs[:count]
+
+
+def _make_server(config, **overrides):
+    video = _video()
+    settings = {
+        "decode_cache_bytes": CACHE_BYTES,
+        "service_batch_window_ms": 5.0,
+        **overrides,
+    }
+    tasm = prepare_tasm(video, config.with_updates(**settings))
+    original = tasm._decoder.prefetch_regions
+
+    def slow_prefetch(sot, requests, scope):
+        time.sleep(SLEEP_PER_SOT_SECONDS)
+        return original(sot, requests, scope)
+
+    tasm._decoder.prefetch_regions = slow_prefetch
+    return TasmServer(tasm), video
+
+
+def _run_multiplexed(config, scans: int, concurrent: bool) -> dict:
+    server, video = _make_server(config)
+    jobs = _scan_jobs(video, scans)
+    results: dict[int, object] = {}
+    errors: list[BaseException] = []
+    with server:
+        with SocketTransport(server) as transport:
+            with RemoteTasmClient(transport.address) as client:
+                started = time.perf_counter()
+                if concurrent:
+                    streams = [
+                        client.scan_streaming(video.name, label, start, stop)
+                        for label, start, stop in jobs
+                    ]
+
+                    def consume(index: int) -> None:
+                        try:
+                            results[index] = streams[index].result()
+                        except BaseException as error:  # noqa: BLE001
+                            errors.append(error)
+
+                    workers = [
+                        threading.Thread(target=consume, args=(index,))
+                        for index in range(len(jobs))
+                    ]
+                    for worker in workers:
+                        worker.start()
+                    for worker in workers:
+                        worker.join(timeout=300)
+                else:
+                    for index, (label, start, stop) in enumerate(jobs):
+                        results[index] = client.scan(video.name, label, start, stop)
+                wall_seconds = time.perf_counter() - started
+        stats = server.stats()
+    assert not errors, errors
+    return {
+        "scans": scans,
+        "mode": "multiplexed" if concurrent else "sequential",
+        "wall_seconds": round(wall_seconds, 3),
+        "qps": round(scans / wall_seconds, 1),
+        "batches": stats.batches_executed,
+        "pixels_decoded": stats.pixels_decoded,
+        "results": results,
+    }
+
+
+def test_multiplexed_connection_beats_sequential_requests(config):
+    rows = []
+    comparisons = []
+    for scans in CONCURRENT_SCANS:
+        sequential = _run_multiplexed(config, scans, concurrent=False)
+        multiplexed = _run_multiplexed(config, scans, concurrent=True)
+        # Identical results either way, job by job.
+        for index in range(scans):
+            ours = multiplexed["results"][index]
+            theirs = sequential["results"][index]
+            assert len(ours.regions) == len(theirs.regions)
+            for got, want in zip(ours.regions, theirs.regions):
+                assert got.frame_index == want.frame_index
+                assert (got.pixels == want.pixels).all()
+        comparisons.append((sequential, multiplexed))
+        for row in (sequential, multiplexed):
+            row.pop("results")
+            rows.append(row)
+
+    print_section(
+        "One connection, N scans: sequential requests vs multiplexed query ids "
+        f"({SLEEP_PER_SOT_SECONDS * 1000:.0f} ms simulated decode per SOT)"
+    )
+    print(format_table(rows))
+
+    for sequential, multiplexed in comparisons:
+        if sequential["scans"] == 1:
+            continue  # nothing to overlap
+        assert multiplexed["wall_seconds"] < sequential["wall_seconds"], (
+            "concurrent scans on one connection must beat sequential requests",
+            sequential,
+            multiplexed,
+        )
+        # Coalescing shares the decode work sequential requests repay per scan.
+        assert multiplexed["pixels_decoded"] <= sequential["pixels_decoded"], (
+            sequential,
+            multiplexed,
+        )
+
+
+def test_binary_pixel_frames_cost_less_than_json_base64(config):
+    """The retired wire format, reconstructed for comparison: pixels as
+    base64 inside JSON versus the binary chunk frame now on the wire."""
+    server, video = _make_server(config)
+    with server:
+        result = server.connect().scan(video.name, "car")
+    regions = result.regions[:64]
+    binary = encode_chunk_payload(1, 0, regions)
+    legacy = json.dumps(
+        {
+            "type": "partial",
+            "sot_index": 0,
+            "regions": [
+                {
+                    "frame_index": region.frame_index,
+                    "region": [0, 0, 0, 0],
+                    "label": region.label,
+                    "shape": list(region.pixels.shape),
+                    "dtype": str(region.pixels.dtype),
+                    "pixels": base64.b64encode(region.pixels.tobytes()).decode("ascii"),
+                }
+                for region in regions
+            ],
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+    pixel_bytes = sum(region.pixels.nbytes for region in regions)
+    rows = [
+        {
+            "encoding": "binary frame",
+            "payload_bytes": len(binary),
+            "overhead_vs_pixels": round(len(binary) / pixel_bytes, 3),
+        },
+        {
+            "encoding": "JSON+base64",
+            "payload_bytes": len(legacy),
+            "overhead_vs_pixels": round(len(legacy) / pixel_bytes, 3),
+        },
+    ]
+    print_section(
+        f"Wire cost of one {len(regions)}-region chunk ({pixel_bytes} pixel bytes)"
+    )
+    print(format_table(rows))
+    assert len(binary) < len(legacy) * 0.8, (
+        "the binary frame must undercut JSON+base64 by well over base64's "
+        "4/3 inflation",
+        rows,
+    )
+
+
+def test_stream_buffers_hold_their_bound(config):
+    """A consumer sleeping between chunks: the producer must park at the
+    configured bound, and the scan must still complete correctly."""
+    rows = []
+    for bound in STREAM_BUFFER_SWEEP:
+        server, video = _make_server(
+            config, service_stream_buffer_chunks=bound, service_batch_window_ms=0.0
+        )
+        with server:
+            reference = server.tasm.scan(video.name, "car")
+            stream = server.connect().scan_streaming(video.name, "car")
+            peak = 0
+            chunks = 0
+            for _ in stream:
+                peak = max(peak, stream.buffered_chunks + 1)  # +1: the popped one
+                chunks += 1
+                time.sleep(0.02)
+            result = stream.result(timeout=60)
+        assert len(result.regions) == len(reference.regions)
+        rows.append(
+            {
+                "buffer_chunks": bound,
+                "chunks_streamed": chunks,
+                "peak_buffered": peak,
+                "bounded": peak <= bound + 1,
+            }
+        )
+    print_section("Per-stream buffering under a slow consumer (20 ms per chunk)")
+    print(format_table(rows))
+    for row in rows:
+        assert row["bounded"], ("stream buffering exceeded its bound", rows)

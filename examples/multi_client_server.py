@@ -9,7 +9,10 @@ arriving together — and throws four concurrent clients with mixed label
 predicates at it.  One client uses the *streaming* API to show the service
 layer's latency story: the first SOT's results arrive while the rest of the
 batch is still decoding, so time-to-first-result is a fraction of
-time-to-complete.
+time-to-complete.  A final section attaches a cross-process-style client
+through the multiplexed socket transport and runs four scans concurrently
+over one connection — tagged query ids on the wire, pixel payloads as raw
+binary frames.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import threading
 from repro import CodecConfig, Query, TasmConfig, TasmServer
 from repro.analysis import prepare_tasm
 from repro.datasets import visual_road_scene
+from repro.service import RemoteTasmClient, SocketTransport
 
 
 def build_tasm(config: TasmConfig):
@@ -89,6 +93,26 @@ def main() -> None:
         print(f"  full-batch latency:   {stream.total_seconds * 1000:7.1f} ms")
         print(f"  (first chunk after {first_latency / stream.total_seconds:.0%} "
               "of the wait)")
+
+        # One socket connection, four scans in flight at once: the client
+        # tags each request with a query id and demultiplexes the streamed
+        # binary chunk frames as they interleave on the wire.
+        with SocketTransport(server) as transport:
+            with RemoteTasmClient(transport.address) as remote:
+                remote_streams = [
+                    remote.scan_streaming(video.name, label, start, stop)
+                    for label, start, stop in (
+                        ("car", None, None),
+                        ("person", None, None),
+                        ("car", 0, half),
+                        ("person", half, video.frame_count),
+                    )
+                ]
+                remote_results = [s.result() for s in remote_streams]
+        print("\nmultiplexed socket client (one connection, 4 concurrent scans):")
+        for stream_handle, scan in zip(remote_streams, remote_results):
+            print(f"  query id {stream_handle.query_id}: "
+                  f"{len(scan.regions)} regions of {scan.video!r}")
 
         stats = server.stats()
         print(f"\nserver: {stats.queries_completed} queries in "

@@ -141,6 +141,20 @@ class TasmConfig:
     service_batch_window_ms: float = 5.0
     #: Upper bound on the number of queries coalesced into one service batch.
     service_max_batch: int = 16
+    #: Number of batch-runner threads in the service scheduler.  1 reproduces
+    #: the serial scheduler (one batch at a time); more runners let batch
+    #: execution overlap batch collection, so decode-bound mixes keep the
+    #: pipeline full.  Concurrent batches are safe: per-``(video, SOT)``
+    #: readers-writer locks order them against writes, and the tile cache and
+    #: lazy SOT encoding are lock-protected.
+    service_runners: int = 2
+    #: Per-stream chunk-buffer bound of the service layer.  A query's
+    #: :class:`~repro.service.scheduler.ResultStream` holds at most this many
+    #: undelivered per-SOT chunks; when a consumer falls behind, the producing
+    #: batch runner suspends instead of buffering without limit
+    #: (backpressure).  0 means unbounded (no suspension), which restores the
+    #: pre-backpressure behaviour.
+    service_stream_buffer_chunks: int = 64
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -169,6 +183,12 @@ class TasmConfig:
             raise ConfigurationError("service_batch_window_ms must be non-negative")
         if self.service_max_batch < 1:
             raise ConfigurationError("service_max_batch must be at least 1")
+        if self.service_runners < 1:
+            raise ConfigurationError("service_runners must be at least 1")
+        if self.service_stream_buffer_chunks < 0:
+            raise ConfigurationError(
+                "service_stream_buffer_chunks must be non-negative (0 = unbounded)"
+            )
 
     @property
     def layout_duration_frames(self) -> int:

@@ -72,3 +72,14 @@ class WorkloadError(TasmError):
 class ServiceError(TasmError):
     """Raised by the service layer (server stopped, transport failure, or an
     error propagated from a batch a streamed query belonged to)."""
+
+
+class TransportError(ServiceError):
+    """Raised by the socket transport for wire-level failures.
+
+    The defining case is a connection that dies *inside* a frame: the frame
+    header promised more bytes than ever arrived, so whatever was received is
+    truncated and must not be silently treated as a clean end of stream.
+    Protocol violations (unknown frame kinds, malformed headers) raise this
+    too, so callers can distinguish "the wire broke" from server-reported
+    query failures."""

@@ -150,6 +150,9 @@ class TileDecodeCache:
         self._heap: list[tuple[float, int, TileKey]] = []
         self._update_tick = 0
         self._lock = threading.Lock()
+        # Single-flight decode coordination: key -> event set when the
+        # in-progress decode of that key completes (see begin_decode).
+        self._inflight: dict[TileKey, threading.Event] = {}
 
     # ------------------------------------------------------------------
     # Lookup and insertion
@@ -261,6 +264,40 @@ class TileDecodeCache:
             # item); guard against it by falling back to a full scan.
             return min(self._entries, key=lambda key: self._entries[key].priority)
         return next(iter(self._entries))
+
+    # ------------------------------------------------------------------
+    # Single-flight decode coordination
+    # ------------------------------------------------------------------
+    def begin_decode(self, key: TileKey, timeout: float = 10.0) -> bool:
+        """Claim (or wait out) the in-progress decode of one tile key.
+
+        With concurrent batch executions sharing this cache, two batches can
+        miss on the same tile at the same moment and both pay the decode —
+        work the cache exists to eliminate.  ``begin_decode`` makes misses
+        single-flight: True means the caller is the *leader* and must decode
+        then call :meth:`end_decode`; False means another thread's decode of
+        this key just finished (or ``timeout`` elapsed) — re-check the cache
+        before deciding to decode.
+
+        This is advisory coordination, not a lock around the entry: a leader
+        that decodes too shallow (or whose ``put`` is refused by capacity)
+        simply leaves the follower to miss again and become the next leader,
+        so progress never depends on what the leader managed to store.
+        """
+        with self._lock:
+            event = self._inflight.get(key)
+            if event is None:
+                self._inflight[key] = threading.Event()
+                return True
+        event.wait(timeout)
+        return False
+
+    def end_decode(self, key: TileKey) -> None:
+        """Release leadership of ``key`` and wake every waiting follower."""
+        with self._lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
 
     # ------------------------------------------------------------------
     # Invalidation

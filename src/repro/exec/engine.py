@@ -214,6 +214,18 @@ class QueryExecutor:
         one query arrive in result order; a query touching no SOT completes
         immediately after planning.
 
+        Observer threading contract: every event of one ``execute_batch``
+        call is emitted synchronously from the single thread driving that
+        call's serve phase (the prefetch pool never emits), so per-batch
+        event order needs no locking.  ``execute_batch`` itself may be called
+        from several threads at once (the service layer's batch-runner pool
+        does); each call emits only to its own observer, but an observer
+        closing over shared state — counters, a stats sink — must synchronise
+        that state itself.  An observer that *blocks* (e.g. backpressure on a
+        full stream buffer) suspends its batch, including the read locks the
+        batch holds; it must be unblockable (the service layer's streams drop
+        pushes once a stream reaches terminal state for exactly this reason).
+
         Like ``execute``, the batch holds read locks on each touched video
         while planning (released before decoding, so metadata writes only
         serialize against planners) and on every ``(video, SOT)`` it decodes
@@ -252,7 +264,6 @@ class QueryExecutor:
         else:
             cache = TileDecodeCache(capacity_bytes=None)
             decoder = VideoDecoder(self._tasm.config.codec, cache=cache)
-        stats_before = cache.stats.snapshot()
 
         # Per (video, SOT): the union of region requests across the batch
         # (what the warm phase decodes) and which queries want which requests
@@ -273,8 +284,10 @@ class QueryExecutor:
         locks.release_read(video_held)
         video_held.clear()
 
-        # Materialise encoded SOTs up front: lazy first-touch encoding is not
-        # thread-safe, and the serve phase needs them anyway.
+        # Materialise encoded SOTs up front: the serve phase needs them
+        # anyway, and doing it before the prefetch fan-out keeps the pool
+        # threads decode-only (first-touch encoding itself is serialised by
+        # TiledVideo's encode lock, so concurrent batches are safe too).
         encoded = {
             (video, sot_index): self._tasm.catalog.get(video).encoded_sot(sot_index)
             for video, sot_index in union
@@ -366,10 +379,20 @@ class QueryExecutor:
         total.merge(warm_stats)
         for result in results:
             total.merge(result.stats)
+        # Cache accounting comes from this batch's own decode counters, not a
+        # delta of the shared cache's global stats: with a pool of batch
+        # runners, concurrent batches interleave their lookups on one cache,
+        # and a snapshot delta would attribute other batches' traffic to this
+        # one.  (Insertions/evictions are cache-global by nature and are
+        # reported by the cache itself, not per batch.)
         return BatchResult(
             results=results,
             stats=total,
-            cache=cache.stats.since(stats_before),
+            cache=CacheStats(
+                hits=total.cache_hits,
+                misses=total.cache_misses,
+                pixels_served=total.pixels_served_from_cache,
+            ),
             index_seconds=index_seconds,
             warm_seconds=warm_seconds,
             serve_seconds=serve_seconds,

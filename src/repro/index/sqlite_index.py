@@ -10,6 +10,7 @@ swapped via :class:`~repro.index.base.SemanticIndexProtocol`.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -41,9 +42,15 @@ class SqliteSemanticIndex:
 
     def __init__(self, path: str | Path | None = None):
         target = ":memory:" if path is None else str(path)
-        self._connection = sqlite3.connect(target)
-        self._connection.executescript(_SCHEMA)
-        self._connection.commit()
+        # The service layer's batch runners plan queries from several threads
+        # at once, so the connection cannot be pinned to its creating thread;
+        # _lock serialises every use of it instead (sqlite3 connections are
+        # not safe for genuinely concurrent calls even when shared).
+        self._connection = sqlite3.connect(target, check_same_thread=False)
+        self._lock = threading.Lock()
+        with self._lock:
+            self._connection.executescript(_SCHEMA)
+            self._connection.commit()
 
     # ------------------------------------------------------------------
     # Writes
@@ -51,22 +58,23 @@ class SqliteSemanticIndex:
     def add(self, entry: IndexEntry) -> None:
         if entry.frame_index < 0:
             raise IndexError_(f"frame index must be non-negative, got {entry.frame_index}")
-        self._connection.execute(
-            "INSERT INTO detections (video, label, frame, x1, y1, x2, y2, confidence, tile) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                entry.video,
-                entry.label,
-                entry.frame_index,
-                entry.box.x1,
-                entry.box.y1,
-                entry.box.x2,
-                entry.box.y2,
-                entry.confidence,
-                entry.tile_pointer,
-            ),
-        )
-        self._connection.commit()
+        with self._lock:
+            self._connection.execute(
+                "INSERT INTO detections (video, label, frame, x1, y1, x2, y2, confidence, tile) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    entry.video,
+                    entry.label,
+                    entry.frame_index,
+                    entry.box.x1,
+                    entry.box.y1,
+                    entry.box.x2,
+                    entry.box.y2,
+                    entry.confidence,
+                    entry.tile_pointer,
+                ),
+            )
+            self._connection.commit()
 
     def add_detections(self, video: str, detections: Iterable[Detection]) -> int:
         rows = [
@@ -87,12 +95,13 @@ class SqliteSemanticIndex:
             return 0
         if any(row[2] < 0 for row in rows):
             raise IndexError_("frame index must be non-negative")
-        self._connection.executemany(
-            "INSERT INTO detections (video, label, frame, x1, y1, x2, y2, confidence, tile) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            rows,
-        )
-        self._connection.commit()
+        with self._lock:
+            self._connection.executemany(
+                "INSERT INTO detections (video, label, frame, x1, y1, x2, y2, confidence, tile) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            self._connection.commit()
         return len(rows)
 
     # ------------------------------------------------------------------
@@ -120,13 +129,15 @@ class SqliteSemanticIndex:
         # backend's duplicate-key semantics; ORDER BY frame alone leaves the
         # tie order unspecified, which cross-backend parity cannot tolerate.
         query += " ORDER BY frame, rowid"
-        rows = self._connection.execute(query, parameters).fetchall()
+        with self._lock:
+            rows = self._connection.execute(query, parameters).fetchall()
         return [self._row_to_entry(row) for row in rows]
 
     def labels(self, video: str) -> set[str]:
-        rows = self._connection.execute(
-            "SELECT DISTINCT label FROM detections WHERE video = ?", (video,)
-        ).fetchall()
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT DISTINCT label FROM detections WHERE video = ?", (video,)
+            ).fetchall()
         return {row[0] for row in rows}
 
     def frames_with_label(
@@ -139,43 +150,47 @@ class SqliteSemanticIndex:
         return sorted({entry.frame_index for entry in self.lookup(video, label, frame_start, frame_stop)})
 
     def count(self, video: str | None = None) -> int:
-        if video is None:
-            row = self._connection.execute("SELECT COUNT(*) FROM detections").fetchone()
-        else:
-            row = self._connection.execute(
-                "SELECT COUNT(*) FROM detections WHERE video = ?", (video,)
-            ).fetchone()
+        with self._lock:
+            if video is None:
+                row = self._connection.execute("SELECT COUNT(*) FROM detections").fetchone()
+            else:
+                row = self._connection.execute(
+                    "SELECT COUNT(*) FROM detections WHERE video = ?", (video,)
+                ).fetchone()
         return int(row[0])
 
     def has_detections(
         self, video: str, labels: Sequence[str], frame_start: int, frame_stop: int
     ) -> bool:
         for label in labels:
-            row = self._connection.execute(
-                "SELECT 1 FROM detections WHERE video = ? AND label = ? AND frame >= ? AND frame < ? LIMIT 1",
-                (video, label, frame_start, frame_stop),
-            ).fetchone()
+            with self._lock:
+                row = self._connection.execute(
+                    "SELECT 1 FROM detections WHERE video = ? AND label = ? AND frame >= ? AND frame < ? LIMIT 1",
+                    (video, label, frame_start, frame_stop),
+                ).fetchone()
             if row is None:
                 return False
         return True
 
     def all_entries(self, video: str | None = None) -> list[IndexEntry]:
-        if video is None:
-            rows = self._connection.execute(
-                "SELECT video, label, frame, x1, y1, x2, y2, confidence, tile FROM detections"
-            ).fetchall()
-        else:
-            rows = self._connection.execute(
-                "SELECT video, label, frame, x1, y1, x2, y2, confidence, tile FROM detections WHERE video = ?",
-                (video,),
-            ).fetchall()
+        with self._lock:
+            if video is None:
+                rows = self._connection.execute(
+                    "SELECT video, label, frame, x1, y1, x2, y2, confidence, tile FROM detections"
+                ).fetchall()
+            else:
+                rows = self._connection.execute(
+                    "SELECT video, label, frame, x1, y1, x2, y2, confidence, tile FROM detections WHERE video = ?",
+                    (video,),
+                ).fetchall()
         return [self._row_to_entry(row) for row in rows]
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        self._connection.close()
+        with self._lock:
+            self._connection.close()
 
     def __enter__(self) -> "SqliteSemanticIndex":
         return self

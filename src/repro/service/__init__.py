@@ -14,10 +14,17 @@ available to *many concurrent callers*, the deployment VSS targets:
   blocking ``scan`` or streaming ``scan_streaming`` (results arrive per SOT,
   before the batch's later SOTs have decoded).
 * :class:`~repro.service.scheduler.BatchScheduler` / ``ResultStream`` — the
-  batching loop and the per-query stream handle.
+  batch-forming collector, the pool of batch runners
+  (``TasmConfig.service_runners``) that overlap batch execution with
+  collection, round-robin per-client admission control, and the bounded,
+  backpressured per-query stream handle
+  (``TasmConfig.service_stream_buffer_chunks``).
 * :class:`~repro.service.transport.SocketTransport` /
-  ``RemoteTasmClient`` — a thin length-prefixed-JSON socket transport for
-  cross-process callers.
+  ``RemoteTasmClient`` — a multiplexed socket transport for cross-process
+  callers: tagged query ids carry any number of concurrent scans over one
+  connection, pixel payloads travel as length-prefixed raw bytes (a binary
+  frame kind, not JSON+base64), and bounded queues at every hop turn a slow
+  client into producer-side suspension instead of unbounded buffering.
 """
 
 from .scheduler import BatchScheduler, ResultStream, StreamChunk

@@ -36,12 +36,17 @@ class TasmClient:
     # Queries
     # ------------------------------------------------------------------
     def submit(self, query: Query) -> ResultStream:
-        """Enqueue a prepared Query; returns its stream immediately."""
-        return self._server.submit(query)
+        """Enqueue a prepared Query; returns its stream immediately.
+
+        Queries submitted through one client handle share one fairness slot
+        in the scheduler's round-robin admission, so a handle that floods the
+        queue cannot crowd other clients out of every batch.
+        """
+        return self._server.submit(query, client=self)
 
     def execute(self, query: Query) -> ScanResult:
         """Blocking execution of a prepared Query."""
-        return self._server.submit(query).result()
+        return self.submit(query).result()
 
     def scan(
         self,
@@ -50,7 +55,7 @@ class TasmClient:
         temporal: TemporalPredicate | None = None,
     ) -> ScanResult:
         """Blocking scan, mirroring ``TASM.scan``'s signature."""
-        return self._server.scan(video_name, predicate, temporal)
+        return self.scan_streaming(video_name, predicate, temporal).result()
 
     def scan_streaming(
         self,
@@ -59,7 +64,7 @@ class TasmClient:
         temporal: TemporalPredicate | None = None,
     ) -> ResultStream:
         """Submit a scan and stream its results per SOT as they warm."""
-        return self._server.submit(
+        return self.submit(
             self._server._build_query(video_name, predicate, temporal)
         )
 

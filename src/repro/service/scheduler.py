@@ -1,19 +1,31 @@
 """The batching scheduler: coalesces concurrent queries, streams results.
 
 Clients hand queries to :meth:`BatchScheduler.submit` and get a
-:class:`ResultStream` back immediately.  A dedicated scheduler thread pops
+:class:`ResultStream` back immediately.  A dedicated *collector* thread pops
 the first pending query, keeps collecting arrivals for up to
 ``TasmConfig.service_batch_window_ms`` (or until ``service_max_batch``
-queries are pending), then runs the whole group through one
-``TASM.execute_batch`` call — so concurrent clients asking about overlapping
-sequences of tiles share decodes instead of thrashing the cache with
-interleaved misses.  A window of 0 still coalesces whatever is already
-queued when a batch forms, which is what a saturated server wants.
+queries are pending), then hands the whole group to a pool of *batch runner*
+threads (``TasmConfig.service_runners``) that drive ``TASM.execute_batch`` —
+so concurrent clients asking about overlapping sequences of tiles share
+decodes instead of thrashing the cache with interleaved misses, and the
+collector is already forming the next batch while runners execute earlier
+ones.  A window of 0 still coalesces whatever is already queued when a batch
+forms, which is what a saturated server wants.
 
-Streaming: the executor's observer hook fires per SOT, and the scheduler
-forwards each event into the owning query's stream, so a client iterating a
-:class:`ResultStream` sees its first SOT's regions while later SOTs of the
-same batch are still decoding.
+Admission control: pending queries are kept per client and drained
+round-robin into each batch, so a greedy client that queues a hundred
+queries cannot fill every batch — every waiting client gets a slot in the
+next batch before any client gets a second one.  Spare batch capacity is
+still work-conserving (a lone client may fill a whole batch).
+
+Streaming and backpressure: the executor's observer hook fires per SOT, and
+the runner forwards each event into the owning query's stream.  A stream
+buffers at most ``TasmConfig.service_stream_buffer_chunks`` undelivered
+chunks; a producer pushing into a full buffer *suspends* until the consumer
+drains it, so a slow client bounds the server's memory instead of growing an
+unbounded queue.  Terminal state (result or error) is stored on the stream
+itself rather than as a queue sentinel, so iterating a failed stream twice
+raises twice instead of blocking forever.
 """
 
 from __future__ import annotations
@@ -21,8 +33,9 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Hashable, Iterator, Sequence
 
 from ..core.query import Query
 from ..core.scan import ScanRegion, ScanResult
@@ -49,69 +62,141 @@ class ResultStream:
 
     Iterating yields :class:`StreamChunk` objects as the server serves each
     SOT (ending when the query completes); :meth:`result` blocks until the
-    final :class:`~repro.core.scan.ScanResult` is ready.  Both can be used on
-    the same stream — ``result()`` does not consume the chunk queue.  If the
-    batch the query rode in failed, both raise :class:`ServiceError`.
+    final :class:`~repro.core.scan.ScanResult` is ready.  If the batch the
+    query rode in failed, both raise :class:`ServiceError` — and keep raising
+    on every later attempt, because the terminal state lives on the stream
+    rather than in the chunk buffer.
+
+    ``buffer_chunks`` bounds the undelivered chunks held for a slow consumer;
+    a producer pushing into a full buffer suspends until the consumer drains
+    it (0 = unbounded, never suspend).  On a bounded stream, ``result()``
+    discards buffered chunks while it waits — the final ``ScanResult`` carries
+    every region regardless — so a caller that never iterates cannot deadlock
+    the producer against its own stream.  Mixing iteration and ``result()``
+    from different threads on one bounded stream is therefore racy for the
+    iterator; consume a stream from one thread.
     """
 
-    def __init__(self, query: Query):
+    def __init__(self, query: Query, buffer_chunks: int = 0):
         self.query = query
         self.submitted_at = time.perf_counter()
         #: Set (producer-side) when the first chunk was pushed; None until then.
         self.first_chunk_at: float | None = None
         self.completed_at: float | None = None
-        self._chunks: queue.SimpleQueue = queue.SimpleQueue()
+        self._capacity = buffer_chunks
+        self._buffer: deque[StreamChunk] = deque()
+        self._cond = threading.Condition()
         self._done = threading.Event()
         self._result: ScanResult | None = None
         self._error: BaseException | None = None
 
     # ------------------------------------------------------------------
-    # Producer side (scheduler thread)
+    # Producer side (batch runner threads)
     # ------------------------------------------------------------------
     def _push_chunk(self, chunk: StreamChunk) -> None:
-        if self.first_chunk_at is None:
-            self.first_chunk_at = time.perf_counter()
-        self._chunks.put(("chunk", chunk))
+        """Buffer one chunk, suspending while a bounded buffer is full.
+
+        A stream that reached terminal state (failed by shutdown or
+        abandoned by a disconnected client) silently drops the chunk so the
+        producing batch is never wedged on a consumer that will not return.
+        """
+        with self._cond:
+            while (
+                self._capacity
+                and len(self._buffer) >= self._capacity
+                and not self._done.is_set()
+            ):
+                self._cond.wait()
+            if self._done.is_set():
+                return
+            if self.first_chunk_at is None:
+                self.first_chunk_at = time.perf_counter()
+            self._buffer.append(chunk)
+            self._cond.notify_all()
 
     def _finish(self, result: ScanResult) -> None:
-        self._result = result
-        self.completed_at = time.perf_counter()
-        self._done.set()
-        self._chunks.put(("done", None))
+        with self._cond:
+            if self._done.is_set():
+                return  # already failed (shutdown / disconnect); first wins
+            self._result = result
+            self.completed_at = time.perf_counter()
+            self._done.set()
+            self._cond.notify_all()
 
     def _fail(self, error: BaseException) -> None:
-        self._error = error
-        self.completed_at = time.perf_counter()
-        self._done.set()
-        self._chunks.put(("error", error))
+        with self._cond:
+            if self._done.is_set():
+                return
+            self._error = error
+            self.completed_at = time.perf_counter()
+            self._done.set()
+            # Wakes consumers *and* any producer suspended on a full buffer
+            # (it re-checks the terminal flag and drops its chunk).
+            self._cond.notify_all()
 
     # ------------------------------------------------------------------
     # Consumer side (client thread)
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Abandon the stream: the consumer will not read further.
+
+        Releases a producer suspended on this stream's full buffer (its later
+        pushes are dropped) so walking away from a partially consumed bounded
+        stream can never wedge the batch runner producing it.  A stream whose
+        query already completed is unaffected; an abandoned one raises
+        :class:`ServiceError` from ``result()``.  Always call this (or drain
+        the stream) when breaking out of iteration early.
+        """
+        self._fail(ServiceError("stream closed by its consumer"))
+
     def __iter__(self) -> Iterator[StreamChunk]:
         while True:
-            kind, payload = self._chunks.get()
-            if kind == "chunk":
-                yield payload
-            elif kind == "error":
-                raise ServiceError(f"query failed in its batch: {payload}") from payload
-            else:
-                return
+            with self._cond:
+                while not self._buffer and not self._done.is_set():
+                    self._cond.wait()
+                if self._buffer:
+                    chunk = self._buffer.popleft()
+                    self._cond.notify_all()  # free a suspended producer
+                else:
+                    if self._error is not None:
+                        raise ServiceError(
+                            f"query failed in its batch: {self._error}"
+                        ) from self._error
+                    return
+            yield chunk
 
     def result(self, timeout: float | None = None) -> ScanResult:
         """Block until the query completes; the full, in-order ScanResult."""
-        if not self._done.wait(timeout):
-            raise ServiceError(f"query did not complete within {timeout} seconds")
-        if self._error is not None:
-            raise ServiceError(
-                f"query failed in its batch: {self._error}"
-            ) from self._error
-        assert self._result is not None
-        return self._result
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._done.is_set():
+                if self._capacity and self._buffer:
+                    # Keep a suspended producer moving: the chunks duplicate
+                    # regions the final ScanResult will carry anyway.
+                    self._buffer.clear()
+                    self._cond.notify_all()
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise ServiceError(
+                        f"query did not complete within {timeout} seconds"
+                    )
+                self._cond.wait(remaining)
+            if self._error is not None:
+                raise ServiceError(
+                    f"query failed in its batch: {self._error}"
+                ) from self._error
+            assert self._result is not None
+            return self._result
 
     @property
     def done(self) -> bool:
         return self._done.is_set()
+
+    @property
+    def buffered_chunks(self) -> int:
+        """Chunks currently held for the consumer (bounded by the buffer)."""
+        with self._cond:
+            return len(self._buffer)
 
     @property
     def first_result_seconds(self) -> float | None:
@@ -127,31 +212,49 @@ class ResultStream:
         return self.completed_at - self.submitted_at
 
 
-#: Queue sentinel asking the scheduler thread to exit.
+#: Queue sentinel asking a batch-runner thread to exit.
 _SHUTDOWN = object()
 
 
 class BatchScheduler:
-    """Owns the request queue and the batch-forming loop."""
+    """Owns the request queues, the batch-forming loop, and the runner pool."""
 
     def __init__(
         self,
         tasm,
         window_ms: float,
         max_batch: int,
+        runners: int = 1,
+        stream_buffer_chunks: int = 0,
         on_query_done: Callable[[Query, ScanResult], None] | None = None,
         on_batch_done: Callable[[BatchResult], None] | None = None,
     ):
         self._tasm = tasm
         self._window_seconds = window_ms / 1000.0
         self._max_batch = max_batch
+        self._runner_count = max(1, runners)
+        self._stream_buffer_chunks = stream_buffer_chunks
         self._on_query_done = on_query_done
         self._on_batch_done = on_batch_done
-        self._queue: queue.Queue = queue.Queue()
-        self._thread: threading.Thread | None = None
+        # Pending queries, kept per client for round-robin admission.  The
+        # condition guards the pending structures and the in-flight set.
+        self._cond = threading.Condition()
+        self._pending: dict[Hashable, deque[ResultStream]] = {}
+        self._pending_order: deque[Hashable] = deque()
+        self._pending_count = 0
+        self._in_flight: set[ResultStream] = set()
+        # Formed batches travel collector -> runners through a short bounded
+        # queue: deep enough to keep every runner fed, shallow enough that
+        # arrivals keep coalescing into *pending* (bigger batches) instead of
+        # fragmenting into a long line of tiny ones.
+        self._batches: queue.Queue = queue.Queue(maxsize=self._runner_count)
+        self._collector: threading.Thread | None = None
+        self._runners: list[threading.Thread] = []
         self._running = False
         self._state_lock = threading.Lock()
-        # Counters (read by TasmServer.stats; written by one thread each).
+        # Counters (read by TasmServer.stats; written under _counter_lock by
+        # any runner thread).
+        self._counter_lock = threading.Lock()
         self.batches_executed = 0
         self.queries_completed = 0
         self.total_stats = DecodeStats()
@@ -163,31 +266,71 @@ class BatchScheduler:
         with self._state_lock:
             if self._running:
                 return
-            if self._thread is not None and self._thread.is_alive():
-                # A previous stop() timed out mid-batch; a second consumer
-                # thread on the same queue would race it and its _drain.
+            stale = [self._collector, *self._runners]
+            if any(thread is not None and thread.is_alive() for thread in stale):
+                # A previous stop() timed out mid-batch; a second crew on the
+                # same queues would race it and its drain.
                 raise ServiceError(
                     "scheduler is still draining a previous stop; retry later"
                 )
             self._running = True
-            self._thread = threading.Thread(
-                target=self._run, name="tasm-batch-scheduler", daemon=True
+            self._batches = queue.Queue(maxsize=self._runner_count)
+            self._runners = [
+                threading.Thread(
+                    target=self._run_batches,
+                    name=f"tasm-batch-runner-{index}",
+                    daemon=True,
+                )
+                for index in range(self._runner_count)
+            ]
+            for runner in self._runners:
+                runner.start()
+            self._collector = threading.Thread(
+                target=self._run_collector, name="tasm-batch-collector", daemon=True
             )
-            self._thread.start()
+            self._collector.start()
 
     def stop(self, timeout: float | None = 10.0) -> None:
         with self._state_lock:
             if not self._running:
                 return
-            # Flipping _running and posting the sentinel under the state lock
-            # orders every submit() against shutdown: a stream enqueued at
-            # all is enqueued before the sentinel, so the scheduler thread
-            # either executes it or fails it in _drain — no silent hangs.
+            # Flipping _running under the state lock orders every submit()
+            # against shutdown: a stream accepted at all is either executed
+            # by a runner or failed below — no silent hangs.
             self._running = False
-            self._queue.put(_SHUTDOWN)
-            thread = self._thread
-        if thread is not None:
-            thread.join(timeout)
+            collector = self._collector
+            runners = list(self._runners)
+        queued: list[ResultStream] = []
+        with self._cond:
+            for bucket in self._pending.values():
+                queued.extend(bucket)
+            self._pending.clear()
+            self._pending_order.clear()
+            self._pending_count = 0
+            self._cond.notify_all()  # wake the collector so it can exit
+        for stream in queued:
+            stream._fail(ServiceError("the server was stopped"))
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def _join(thread: threading.Thread | None) -> None:
+            if thread is None:
+                return
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+
+        _join(collector)
+        for runner in runners:
+            _join(runner)
+        # Anything still in flight after the drain deadline belongs to a
+        # runner stuck mid-batch: fail the streams so consumers unblock (the
+        # runner's eventual terminal transitions are ignored — first wins),
+        # which also releases producers suspended on full buffers.
+        with self._cond:
+            stragglers = [stream for stream in self._in_flight if not stream.done]
+        for stream in stragglers:
+            stream._fail(ServiceError("the server was stopped"))
 
     @property
     def running(self) -> bool:
@@ -196,50 +339,100 @@ class BatchScheduler:
     @property
     def queue_depth(self) -> int:
         """Queries accepted but not yet dispatched into a batch."""
-        return self._queue.qsize()
+        with self._cond:
+            return self._pending_count
 
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, query: Query) -> ResultStream:
-        stream = ResultStream(query)
+    def submit(self, query: Query, client: Hashable = None) -> ResultStream:
+        """Enqueue a query; ``client`` identifies the submitter for fairness.
+
+        All queries submitted under one ``client`` key share one round-robin
+        slot per batch; anonymous submitters (``client=None``) share a single
+        slot between them.
+        """
+        stream = ResultStream(query, buffer_chunks=self._stream_buffer_chunks)
         with self._state_lock:
             if not self._running:
                 raise ServiceError("the server is not running")
-            self._queue.put(stream)
+            with self._cond:
+                bucket = self._pending.get(client)
+                if bucket is None:
+                    bucket = self._pending[client] = deque()
+                if not bucket:
+                    self._pending_order.append(client)
+                bucket.append(stream)
+                self._pending_count += 1
+                self._cond.notify_all()
         return stream
 
     # ------------------------------------------------------------------
-    # The batch-forming loop
+    # The batch-forming loop (collector thread)
     # ------------------------------------------------------------------
-    def _run(self) -> None:
+    def _run_collector(self) -> None:
         while True:
-            item = self._queue.get()
-            if item is _SHUTDOWN:
-                break
-            batch = [item]
-            if not self._collect(batch):
-                self._execute(batch)
-                break
-            self._execute(batch)
-        self._drain()
+            with self._cond:
+                while self._running and self._pending_count == 0:
+                    self._cond.wait()
+                if not self._running:
+                    break
+            batch = self._collect()
+            if batch:
+                # May block while every runner is busy and the handoff queue
+                # is full — which is the pipelining backpressure we want:
+                # meanwhile arrivals pile into _pending and coalesce.
+                self._batches.put(batch)
+        for _ in self._runners:
+            self._batches.put(_SHUTDOWN)
 
-    def _collect(self, batch: list[ResultStream]) -> bool:
-        """Fill ``batch`` up to the window/size limits; False on shutdown."""
+    def _collect(self) -> list[ResultStream]:
+        """Form one batch: take fairly, then wait out the window for more."""
         deadline = time.monotonic() + self._window_seconds
-        while len(batch) < self._max_batch:
-            remaining = deadline - time.monotonic()
-            try:
-                if remaining > 0:
-                    item = self._queue.get(timeout=remaining)
-                else:
-                    item = self._queue.get_nowait()
-            except queue.Empty:
-                return True
+        batch: list[ResultStream] = []
+        with self._cond:
+            while True:
+                self._take_round_robin(batch)
+                if len(batch) >= self._max_batch or not self._running:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            self._in_flight.update(batch)
+        return batch
+
+    def _take_round_robin(self, batch: list[ResultStream]) -> None:
+        """Drain pending queries into ``batch`` one client at a time (lock held).
+
+        Each rotation takes one query from each client with pending work, so
+        every waiting client lands in the next batch before any client gets a
+        second slot; remaining capacity goes around again (a lone client may
+        still fill the whole batch).
+        """
+        while len(batch) < self._max_batch and self._pending_order:
+            client = self._pending_order.popleft()
+            bucket = self._pending[client]
+            batch.append(bucket.popleft())
+            self._pending_count -= 1
+            if bucket:
+                self._pending_order.append(client)
+            else:
+                del self._pending[client]
+
+    # ------------------------------------------------------------------
+    # Batch execution (runner threads)
+    # ------------------------------------------------------------------
+    def _run_batches(self) -> None:
+        while True:
+            item = self._batches.get()
             if item is _SHUTDOWN:
-                return False
-            batch.append(item)
-        return True
+                return
+            try:
+                self._execute(item)
+            finally:
+                with self._cond:
+                    self._in_flight.difference_update(item)
 
     def _execute(self, batch: Sequence[ResultStream]) -> None:
         def observer(event) -> None:
@@ -275,18 +468,9 @@ class BatchScheduler:
                 else:
                     self._execute([stream])
             return
-        self.batches_executed += 1
-        self.queries_completed += len(batch)
-        self.total_stats.merge(result.stats)
+        with self._counter_lock:
+            self.batches_executed += 1
+            self.queries_completed += len(batch)
+            self.total_stats.merge(result.stats)
         if self._on_batch_done is not None:
             self._on_batch_done(result)
-
-    def _drain(self) -> None:
-        """Fail anything still queued once the scheduler stops."""
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return
-            if item is not _SHUTDOWN:
-                item._fail(ServiceError("the server was stopped"))

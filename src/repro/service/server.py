@@ -15,8 +15,11 @@ The server owns:
   without cross-query reuse is pointless;
 * a :class:`~repro.service.scheduler.BatchScheduler` that coalesces queries
   arriving within ``TasmConfig.service_batch_window_ms`` (or up to
-  ``service_max_batch``) into one ``execute_batch`` call and streams each
-  query's results back per SOT;
+  ``service_max_batch``) into shared ``execute_batch`` calls, executed by a
+  pool of ``service_runners`` batch-runner threads so batch collection
+  overlaps batch execution, with round-robin admission per client and each
+  query's results streamed back per SOT through a bounded
+  (``service_stream_buffer_chunks``) backpressured stream;
 * the write path: ``add_metadata`` / ``add_detections`` / ``retile_sot``
   forward to TASM, whose per-``(video, SOT)`` readers-writer locks serialize
   them against in-flight scans.
@@ -62,6 +65,8 @@ class ServerStats:
     #: Queries accepted but not yet dispatched into a batch.
     queue_depth: int
     batches_executed: int
+    #: Width of the scheduler's batch-runner pool (``service_runners``).
+    runners: int
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
@@ -83,6 +88,7 @@ class ServerStats:
             "qps": self.qps,
             "queue_depth": self.queue_depth,
             "batches_executed": self.batches_executed,
+            "runners": self.runners,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
@@ -129,6 +135,8 @@ class TasmServer:
             tasm,
             window_ms=tasm.config.service_batch_window_ms,
             max_batch=tasm.config.service_max_batch,
+            runners=tasm.config.service_runners,
+            stream_buffer_chunks=tasm.config.service_stream_buffer_chunks,
             on_query_done=self._record_query_done,
         )
         self._started_at: float | None = None
@@ -167,9 +175,17 @@ class TasmServer:
     # ------------------------------------------------------------------
     # The read path: queries
     # ------------------------------------------------------------------
-    def submit(self, query: Query) -> ResultStream:
-        """Enqueue a query; returns immediately with its result stream."""
-        stream = self._scheduler.submit(query)  # may refuse: count only accepted
+    def submit(self, query: Query, client: object = None) -> ResultStream:
+        """Enqueue a query; returns immediately with its result stream.
+
+        ``client`` identifies the submitter for the scheduler's round-robin
+        admission control: queries sharing a client key share one fairness
+        slot per batch, so a greedy client cannot fill every batch.  In-process
+        :class:`~repro.service.client.TasmClient` handles and socket
+        connections each pass themselves; ``None`` pools anonymous callers
+        into one shared slot.
+        """
+        stream = self._scheduler.submit(query, client=client)  # may refuse
         with self._stats_lock:
             self._queries_submitted += 1
         return stream
@@ -240,6 +256,7 @@ class TasmServer:
             qps=completed / uptime if uptime > 0 else 0.0,
             queue_depth=self._scheduler.queue_depth,
             batches_executed=self._scheduler.batches_executed,
+            runners=self.tasm.config.service_runners,
             cache_hits=cache_stats.hits if cache_stats else 0,
             cache_misses=cache_stats.misses if cache_stats else 0,
             cache_hit_rate=cache_stats.hit_rate if cache_stats else 0.0,

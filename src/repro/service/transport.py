@@ -1,30 +1,54 @@
-"""A thin length-prefixed-JSON socket transport for cross-process clients.
+"""A multiplexed, backpressured socket transport for cross-process clients.
 
-Framing: every message is a 4-byte big-endian length followed by that many
-bytes of UTF-8 JSON.  Pixel payloads ride inside the JSON as base64 so the
-protocol stays one self-describing frame type end to end — this transport
-optimises for being debuggable and dependency-free, not for wire efficiency
-(in-process clients should use :class:`~repro.service.client.TasmClient`).
+Framing: every frame is a 1-byte kind, a 4-byte big-endian payload length,
+then that many payload bytes.  Two kinds exist:
 
-Requests (one in flight per connection; open several connections for
-concurrency — the server coalesces them into shared batches):
+* ``KIND_JSON`` (0) — a UTF-8 JSON message.  Every request carries a
+  client-chosen ``"id"`` tag, and every response echoes the id of the request
+  it answers, so one connection multiplexes any number of in-flight requests
+  (concurrent scans included) instead of the one-request-per-connection
+  protocol this transport replaces.
+* ``KIND_CHUNK`` (1) — one streamed scan chunk: a 4-byte header length, a
+  JSON header (query id, SOT index, per-region geometry/shape/dtype), then
+  the regions' raw pixel bytes concatenated.  Pixels ride as length-prefixed
+  raw bytes — not JSON+base64 — so the wire cost of a chunk is its pixel
+  bytes plus a small header.
 
-* ``{"op": "scan", "video": ..., "labels": [...], "frame_start": null|int,
-  "frame_stop": null|int}`` — streams back ``{"type": "partial", ...}``
-  frames (one per SOT, carrying the regions' pixels) followed by one
-  ``{"type": "done", ...}`` frame with the scan's accounting.
-* ``{"op": "add_metadata", "video": ..., "frame": ..., "label": ...,
-  "x1": ..., "y1": ..., "x2": ..., "y2": ...}`` — ``{"type": "ok"}``.
-* ``{"op": "stats"}`` — ``{"type": "stats", ...server stats...}``.
+A connection that dies *inside* a frame raises
+:class:`~repro.errors.TransportError` (the old protocol returned ``None``,
+silently conflating a truncated frame with a clean end of stream); only an
+EOF landing exactly on a frame boundary reads as clean.
 
-Errors come back as ``{"type": "error", "message": ...}`` and leave the
-connection usable.
+Backpressure end to end: the server writes through a per-connection writer
+thread with a bounded outbox, the client demultiplexes into bounded
+per-stream queues, and the service layer's own
+:class:`~repro.service.scheduler.ResultStream` buffers are bounded — so a
+client that stops reading propagates, via TCP flow control, all the way back
+to the batch runner producing its chunks, which suspends instead of letting
+the server buffer without limit.
+
+Requests (JSON frames; ``"id"`` is any integer unique among the
+connection's in-flight requests):
+
+* ``{"op": "scan", "id": ..., "video": ..., "labels": [...],
+  "frame_start": null|int, "frame_stop": null|int}`` — streams back
+  ``KIND_CHUNK`` frames (one per SOT) followed by one
+  ``{"type": "done", "id": ...}`` JSON frame with the scan's accounting.
+* ``{"op": "add_metadata", "id": ..., "video": ..., "frame": ...,
+  "label": ..., "x1": ..., "y1": ..., "x2": ..., "y2": ...}`` —
+  ``{"type": "ok", "id": ...}``.
+* ``{"op": "stats", "id": ...}`` — ``{"type": "stats", "id": ...,
+  ...server stats...}``.
+
+Errors come back as ``{"type": "error", "id": ..., "message": ...}`` and
+leave the connection usable; errors of one query never disturb the
+connection's other streams.
 """
 
 from __future__ import annotations
 
-import base64
 import json
+import queue
 import socket
 import struct
 import threading
@@ -34,71 +58,164 @@ import numpy as np
 
 from ..core.predicates import TemporalPredicate
 from ..core.scan import ScanRegion, ScanResult
-from ..errors import ServiceError
+from ..errors import ServiceError, TransportError
 from ..geometry import Rectangle
 from ..video.codec import DecodeStats
 
-__all__ = ["RemoteScanStream", "RemoteTasmClient", "SocketTransport"]
+__all__ = [
+    "KIND_CHUNK",
+    "KIND_JSON",
+    "RemoteScanStream",
+    "RemoteTasmClient",
+    "SocketTransport",
+]
 
-_LENGTH = struct.Struct(">I")
+_FRAME_HEADER = struct.Struct(">BI")
+_CHUNK_HEADER = struct.Struct(">I")
+
+KIND_JSON = 0
+KIND_CHUNK = 1
+
+#: Outbox / per-stream queue bound used when the configured bound is 0
+#: (unbounded streams still should not let one connection queue frames
+#: without limit — memory, not correctness, is at stake here).
+_DEFAULT_WIRE_BUFFER = 64
+
+
+class _ConnectionClosed(Exception):
+    """Internal: the peer is gone; stop producing frames for it."""
 
 
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
-def send_message(sock: socket.socket, message: dict) -> None:
-    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+def send_frame(sock: socket.socket, kind: int, payload: bytes) -> None:
+    sock.sendall(_FRAME_HEADER.pack(kind, len(payload)) + payload)
 
 
-def recv_message(sock: socket.socket) -> dict | None:
-    """The next framed message, or None on a clean EOF."""
-    header = _recv_exact(sock, _LENGTH.size)
+def recv_frame(sock: socket.socket) -> tuple[int, bytearray] | None:
+    """The next frame as ``(kind, payload)``, or None on a clean EOF.
+
+    Raises :class:`TransportError` when the connection dies mid-frame: a
+    truncated frame means bytes the header promised never arrived, which
+    must not be mistaken for an orderly end of stream.
+    """
+    header = _recv_exact(sock, _FRAME_HEADER.size)
     if header is None:
         return None
-    (length,) = _LENGTH.unpack(header)
+    kind, length = _FRAME_HEADER.unpack(header)
     payload = _recv_exact(sock, length)
-    if payload is None:
-        return None
-    return json.loads(payload.decode("utf-8"))
+    if payload is None and length > 0:
+        raise TransportError(
+            f"connection closed mid-frame: expected {length} payload bytes, got none"
+        )
+    return kind, payload if payload is not None else bytearray()
 
 
-def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+def _recv_exact(sock: socket.socket, count: int) -> bytearray | None:
+    """Exactly ``count`` bytes, None on EOF *before the first byte* only."""
     chunks = bytearray()
     while len(chunks) < count:
         chunk = sock.recv(count - len(chunks))
         if not chunk:
+            if chunks:
+                raise TransportError(
+                    f"connection closed mid-frame: got {len(chunks)} of {count} bytes"
+                )
             return None
         chunks.extend(chunk)
-    return bytes(chunks)
+    return chunks
 
 
-# ----------------------------------------------------------------------
-# Region (de)serialisation
-# ----------------------------------------------------------------------
-def _encode_region(region: ScanRegion) -> dict:
-    pixels = np.ascontiguousarray(region.pixels)
-    return {
-        "frame_index": region.frame_index,
-        "region": [region.region.x1, region.region.y1, region.region.x2, region.region.y2],
-        "label": region.label,
-        "shape": list(pixels.shape),
-        "dtype": str(pixels.dtype),
-        "pixels": base64.b64encode(pixels.tobytes()).decode("ascii"),
-    }
-
-
-def _decode_region(message: dict) -> ScanRegion:
-    pixels = np.frombuffer(
-        base64.b64decode(message["pixels"]), dtype=np.dtype(message["dtype"])
-    ).reshape(message["shape"])
-    x1, y1, x2, y2 = message["region"]
-    return ScanRegion(
-        frame_index=message["frame_index"],
-        region=Rectangle(x1, y1, x2, y2),
-        pixels=pixels,
-        label=message["label"],
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Send one JSON frame (request/response side of the protocol)."""
+    send_frame(
+        sock, KIND_JSON, json.dumps(message, separators=(",", ":")).encode("utf-8")
     )
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """The next JSON frame, or None on a clean EOF.
+
+    Raises :class:`TransportError` on a truncated frame or when the next
+    frame is not JSON (callers using this helper speak the request side of
+    the protocol, which is JSON-only).
+    """
+    frame = recv_frame(sock)
+    if frame is None:
+        return None
+    kind, payload = frame
+    if kind != KIND_JSON:
+        raise TransportError(f"expected a JSON frame, got kind {kind}")
+    return json.loads(bytes(payload).decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Chunk (de)serialisation — the binary pixel path
+# ----------------------------------------------------------------------
+def encode_chunk_payload(query_id: int, sot_index: int, regions) -> bytes:
+    """Serialise one stream chunk: JSON header + concatenated raw pixels."""
+    metas = []
+    blobs = []
+    for region in regions:
+        pixels = np.ascontiguousarray(region.pixels)
+        blob = pixels.tobytes()
+        metas.append(
+            {
+                "frame_index": region.frame_index,
+                "region": [
+                    region.region.x1,
+                    region.region.y1,
+                    region.region.x2,
+                    region.region.y2,
+                ],
+                "label": region.label,
+                "shape": list(pixels.shape),
+                "dtype": str(pixels.dtype),
+                "nbytes": len(blob),
+            }
+        )
+        blobs.append(blob)
+    header = json.dumps(
+        {"id": query_id, "sot_index": sot_index, "regions": metas},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return _CHUNK_HEADER.pack(len(header)) + header + b"".join(blobs)
+
+
+def decode_chunk_payload(payload: bytearray) -> tuple[dict, list[ScanRegion]]:
+    """Parse one chunk frame into its header and writable ScanRegions.
+
+    The pixel arrays are backed by the received (mutable) buffer, so they are
+    writable without a copy — parity with in-process results, whose pixels a
+    caller may annotate in place.  A read-only buffer (never produced by
+    :func:`recv_frame`, but possible for callers handing in ``bytes``) is
+    copied to preserve that guarantee.
+    """
+    (header_length,) = _CHUNK_HEADER.unpack_from(payload, 0)
+    body_start = _CHUNK_HEADER.size + header_length
+    header = json.loads(bytes(payload[_CHUNK_HEADER.size : body_start]).decode("utf-8"))
+    view = memoryview(payload)
+    regions: list[ScanRegion] = []
+    offset = body_start
+    for meta in header["regions"]:
+        nbytes = meta["nbytes"]
+        pixels = np.frombuffer(
+            view[offset : offset + nbytes], dtype=np.dtype(meta["dtype"])
+        ).reshape(meta["shape"])
+        if not pixels.flags.writeable:
+            pixels = pixels.copy()
+        offset += nbytes
+        x1, y1, x2, y2 = meta["region"]
+        regions.append(
+            ScanRegion(
+                frame_index=meta["frame_index"],
+                region=Rectangle(x1, y1, x2, y2),
+                pixels=pixels,
+                label=meta["label"],
+            )
+        )
+    return header, regions
 
 
 # ----------------------------------------------------------------------
@@ -108,8 +225,13 @@ class SocketTransport:
     """Accepts socket connections and forwards them onto a TasmServer.
 
     ``port=0`` binds an ephemeral port; read :attr:`address` after
-    construction.  Each connection is served by its own thread, so the
-    server's batching window still coalesces queries across connections.
+    construction.  Each connection runs a reader thread (demultiplexing
+    requests), a writer thread (serialising responses through a bounded
+    outbox), and one pump thread per in-flight scan — so a single connection
+    carries any number of concurrent scans, which the server's batching
+    window coalesces exactly as it does queries from separate connections.
+    Each connection is one admission-control client: its scans share one
+    round-robin slot per batch.
     """
 
     def __init__(self, server, host: str = "127.0.0.1", port: int = 0):
@@ -120,9 +242,11 @@ class SocketTransport:
         self._listener.settimeout(0.2)
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         self._accept_thread: threading.Thread | None = None
-        self._connections: set[socket.socket] = set()
+        self._connections: set[_Connection] = set()
         self._connections_lock = threading.Lock()
         self._running = False
+        buffer = server.tasm.config.service_stream_buffer_chunks
+        self._outbox_frames = buffer if buffer > 0 else _DEFAULT_WIRE_BUFFER
 
     def start(self) -> "SocketTransport":
         if self._running:
@@ -141,12 +265,8 @@ class SocketTransport:
         self._listener.close()
         with self._connections_lock:
             doomed = list(self._connections)
-        for conn in doomed:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            conn.close()
+        for connection in doomed:
+            connection.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
             self._accept_thread = None
@@ -160,44 +280,77 @@ class SocketTransport:
     def _accept_loop(self) -> None:
         while self._running:
             try:
-                conn, _ = self._listener.accept()
+                sock, _ = self._listener.accept()
             except socket.timeout:
                 continue
             except OSError:
                 return  # listener closed
-            conn.settimeout(None)
+            sock.settimeout(None)
+            connection = _Connection(self._server, sock, self._outbox_frames)
             with self._connections_lock:
-                self._connections.add(conn)
+                self._connections.add(connection)
             threading.Thread(
                 target=self._serve_connection,
-                args=(conn,),
+                args=(connection,),
                 name="tasm-socket-conn",
                 daemon=True,
             ).start()
 
-    def _serve_connection(self, conn: socket.socket) -> None:
+    def _serve_connection(self, connection: "_Connection") -> None:
         try:
-            while True:
-                message = recv_message(conn)
+            connection.serve()
+        finally:
+            with self._connections_lock:
+                self._connections.discard(connection)
+            connection.close()
+
+
+class _Connection:
+    """One accepted socket: request demux, response mux, per-scan pumps."""
+
+    def __init__(self, server, sock: socket.socket, outbox_frames: int):
+        self._server = server
+        self._sock = sock
+        self._outbox: queue.Queue = queue.Queue(maxsize=outbox_frames)
+        self._closing = threading.Event()
+        self._scans_lock = threading.Lock()
+        self._scans: dict[int, object] = {}  # query id -> ResultStream
+        self._writer = threading.Thread(
+            target=self._write_loop, name="tasm-socket-writer", daemon=True
+        )
+        self._writer.start()
+
+    # ------------------------------------------------------------------
+    # Reader side (the connection's main thread)
+    # ------------------------------------------------------------------
+    def serve(self) -> None:
+        try:
+            while not self._closing.is_set():
+                message = recv_message(self._sock)
                 if message is None:
                     return
                 try:
-                    self._handle(conn, message)
-                except (BrokenPipeError, ConnectionError, OSError):
+                    self._handle(message)
+                except _ConnectionClosed:
                     return
                 except Exception as error:  # noqa: BLE001 — report, keep serving
-                    send_message(conn, {"type": "error", "message": str(error)})
-        except (ConnectionError, OSError):
+                    self._reply(
+                        {
+                            "type": "error",
+                            "id": message.get("id"),
+                            "message": str(error),
+                        }
+                    )
+        except (TransportError, ConnectionError, OSError):
             return
         finally:
-            with self._connections_lock:
-                self._connections.discard(conn)
-            conn.close()
+            self.close()
 
-    def _handle(self, conn: socket.socket, message: dict) -> None:
+    def _handle(self, message: dict) -> None:
         op = message.get("op")
+        query_id = message.get("id")
         if op == "scan":
-            self._handle_scan(conn, message)
+            self._start_scan(query_id, message)
         elif op == "add_metadata":
             self._server.add_metadata(
                 message["video"],
@@ -209,13 +362,16 @@ class SocketTransport:
                 message["y2"],
                 confidence=message.get("confidence", 1.0),
             )
-            send_message(conn, {"type": "ok"})
+            self._reply({"type": "ok", "id": query_id})
         elif op == "stats":
-            send_message(conn, {"type": "stats", **self._server.stats().as_dict()})
+            self._reply({"type": "stats", "id": query_id, **self._server.stats().as_dict()})
         else:
-            send_message(conn, {"type": "error", "message": f"unknown op {op!r}"})
+            self._reply({"type": "error", "id": query_id, "message": f"unknown op {op!r}"})
 
-    def _handle_scan(self, conn: socket.socket, message: dict) -> None:
+    def _start_scan(self, query_id: int, message: dict) -> None:
+        with self._scans_lock:
+            if query_id in self._scans:
+                raise ServiceError(f"query id {query_id} is already in flight")
         labels = message["labels"]
         temporal = None
         if message.get("frame_start") is not None or message.get("frame_stop") is not None:
@@ -227,34 +383,114 @@ class SocketTransport:
             labels if len(labels) != 1 else labels[0],
             temporal,
         )
-        stream = self._server.submit(query)
-        for chunk in stream:
-            send_message(
-                conn,
+        stream = self._server.submit(query, client=self)
+        with self._scans_lock:
+            self._scans[query_id] = stream
+        threading.Thread(
+            target=self._pump_scan,
+            args=(query_id, stream),
+            name="tasm-socket-pump",
+            daemon=True,
+        ).start()
+
+    # ------------------------------------------------------------------
+    # Pump threads (one per in-flight scan)
+    # ------------------------------------------------------------------
+    def _pump_scan(self, query_id: int, stream) -> None:
+        try:
+            try:
+                for chunk in stream:
+                    self._enqueue(
+                        KIND_CHUNK,
+                        encode_chunk_payload(query_id, chunk.sot_index, chunk.regions),
+                    )
+                result = stream.result()
+            except ServiceError as error:
+                self._reply({"type": "error", "id": query_id, "message": str(error)})
+                return
+            self._reply(
                 {
-                    "type": "partial",
-                    "sot_index": chunk.sot_index,
-                    "regions": [_encode_region(region) for region in chunk.regions],
-                },
+                    "type": "done",
+                    "id": query_id,
+                    "video": result.video,
+                    "index_seconds": result.index_seconds,
+                    "decode_seconds": result.decode_seconds,
+                    "stats": {
+                        "pixels_decoded": result.stats.pixels_decoded,
+                        "tiles_decoded": result.stats.tiles_decoded,
+                        "frames_decoded": result.stats.frames_decoded,
+                        "cache_hits": result.stats.cache_hits,
+                        "cache_misses": result.stats.cache_misses,
+                        "pixels_served_from_cache": result.stats.pixels_served_from_cache,
+                    },
+                }
             )
-        result = stream.result()
-        send_message(
-            conn,
-            {
-                "type": "done",
-                "video": result.video,
-                "index_seconds": result.index_seconds,
-                "decode_seconds": result.decode_seconds,
-                "stats": {
-                    "pixels_decoded": result.stats.pixels_decoded,
-                    "tiles_decoded": result.stats.tiles_decoded,
-                    "frames_decoded": result.stats.frames_decoded,
-                    "cache_hits": result.stats.cache_hits,
-                    "cache_misses": result.stats.cache_misses,
-                    "pixels_served_from_cache": result.stats.pixels_served_from_cache,
-                },
-            },
+        except _ConnectionClosed:
+            # Nobody is listening: abandon the stream so a batch runner
+            # suspended on its buffer (or still producing) is released
+            # instead of filling memory for a dead peer.
+            stream._fail(ServiceError("client disconnected mid-stream"))
+        finally:
+            with self._scans_lock:
+                self._scans.pop(query_id, None)
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def _reply(self, message: dict) -> None:
+        self._enqueue(
+            KIND_JSON, json.dumps(message, separators=(",", ":")).encode("utf-8")
         )
+
+    def _enqueue(self, kind: int, payload: bytes) -> None:
+        """Queue one encoded frame for the writer, honouring the bound.
+
+        Blocks while the outbox is full (the writer is waiting on a slow
+        socket) — this is where a slow client suspends the server-side pumps
+        — and raises :class:`_ConnectionClosed` once the connection dies.
+        Header and payload travel as a pair so a multi-megabyte pixel payload
+        is never copied again just to glue five header bytes onto it.
+        """
+        frame = (_FRAME_HEADER.pack(kind, len(payload)), payload)
+        while True:
+            if self._closing.is_set():
+                raise _ConnectionClosed()
+            try:
+                self._outbox.put(frame, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def _write_loop(self) -> None:
+        while True:
+            try:
+                header, payload = self._outbox.get(timeout=0.2)
+            except queue.Empty:
+                if self._closing.is_set():
+                    return
+                continue
+            try:
+                self._sock.sendall(header)
+                self._sock.sendall(payload)
+            except OSError:
+                self._closing.set()
+                return
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closing.set()
+        with self._scans_lock:
+            orphaned = list(self._scans.values())
+            self._scans.clear()
+        for stream in orphaned:
+            stream._fail(ServiceError("connection closed"))
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
 
 
 # ----------------------------------------------------------------------
@@ -265,68 +501,219 @@ class RemoteScanStream:
 
     Iterate for ``(sot_index, [ScanRegion, ...])`` chunks as the server
     streams them; :meth:`result` consumes the remainder and returns the
-    assembled :class:`ScanResult`.  The stream must be fully consumed (or
-    ``result()`` called) before the owning connection can issue its next
-    request.
+    assembled :class:`ScanResult`.  Chunks buffer in a bounded queue the
+    connection's reader thread fills: a consumer that falls behind eventually
+    blocks the reader, TCP flow control stalls the server's writer, and the
+    producing batch runner suspends — backpressure instead of unbounded
+    buffering.  A stream that failed keeps raising :class:`ServiceError` on
+    every later iteration or ``result()`` call.  The owning client's
+    ``timeout`` bounds the wait for each event: a server that stops sending
+    mid-stream raises instead of hanging the consumer forever.
     """
 
-    def __init__(self, sock: socket.socket):
-        self._sock = sock
+    def __init__(self, query_id: int, buffer_chunks: int, timeout: float | None):
+        self.query_id = query_id
+        self._events: queue.Queue = queue.Queue(maxsize=max(0, buffer_chunks))
+        self._timeout = timeout
         self._regions: list[ScanRegion] = []
         self._result: ScanResult | None = None
+        self._error: BaseException | None = None
+        self._finished = False
 
+    # Reader-thread side -------------------------------------------------
+    def _deliver(self, event: tuple) -> None:
+        """Blocking delivery — the reader stalls on a full buffer."""
+        self._events.put(event)
+
+    def _fail_from_wire(self, error: BaseException) -> None:
+        """Terminal delivery that can never block the dying reader.
+
+        The stream cannot complete anymore, so buffered chunks are worthless;
+        drop them until the error fits.
+        """
+        while True:
+            try:
+                self._events.put_nowait(("error", error))
+                return
+            except queue.Full:
+                try:
+                    self._events.get_nowait()
+                except queue.Empty:
+                    pass
+
+    # Consumer side ------------------------------------------------------
     def __iter__(self) -> Iterator[tuple[int, list[ScanRegion]]]:
-        while self._result is None:
-            message = recv_message(self._sock)
-            if message is None:
-                raise ServiceError("connection closed mid-stream")
-            kind = message["type"]
-            if kind == "partial":
-                regions = [_decode_region(encoded) for encoded in message["regions"]]
+        if self._error is not None:
+            raise ServiceError(f"scan failed: {self._error}") from self._error
+        while not self._finished:
+            try:
+                kind, *rest = self._events.get(timeout=self._timeout)
+            except queue.Empty:
+                raise ServiceError(
+                    f"no stream data within {self._timeout} seconds"
+                ) from None
+            if kind == "chunk":
+                sot_index, regions = rest
                 self._regions.extend(regions)
-                yield message["sot_index"], regions
+                yield sot_index, regions
             elif kind == "done":
-                self._result = self._assemble(message)
-            elif kind == "error":
-                raise ServiceError(message["message"])
-            else:
-                raise ServiceError(f"unexpected frame {kind!r} in scan stream")
+                self._result = _assemble_result(rest[0], self._regions)
+                self._finished = True
+            else:  # "error"
+                self._error = rest[0]
+                self._finished = True
+                raise ServiceError(f"scan failed: {self._error}") from self._error
 
     def result(self) -> ScanResult:
         for _ in self:
             pass
+        if self._error is not None:
+            raise ServiceError(f"scan failed: {self._error}") from self._error
         assert self._result is not None
         return self._result
 
-    def _assemble(self, done: dict) -> ScanResult:
-        stats = DecodeStats(**done["stats"])
-        return ScanResult(
-            video=done["video"],
-            regions=self._regions,
-            stats=stats,
-            index_seconds=done["index_seconds"],
-            decode_seconds=done["decode_seconds"],
-        )
-
 
 class RemoteTasmClient:
-    """Connects to a :class:`SocketTransport`; one request in flight at a time."""
+    """Connects to a :class:`SocketTransport`; multiplexes over one socket.
 
-    def __init__(self, address: tuple[str, int], timeout: float | None = 30.0):
+    Any number of requests may be in flight at once: each gets a fresh query
+    id, and a background reader thread demultiplexes responses to the right
+    :class:`RemoteScanStream` or blocking call.  The handle is thread-safe —
+    threads of one process can share it, issuing concurrent scans over the
+    single connection.  ``stream_buffer_chunks`` bounds each stream's
+    client-side chunk buffer (0 = unbounded); note that one stream left
+    unconsumed while its buffer is full stalls the shared reader, and with it
+    the connection's other streams, until it is drained.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        timeout: float | None = 30.0,
+        stream_buffer_chunks: int = 64,
+    ):
         self._sock = socket.create_connection(address, timeout=timeout)
+        self._sock.settimeout(None)  # the reader thread blocks; ops use _timeout
+        self._timeout = timeout
+        self._buffer_chunks = stream_buffer_chunks
+        self._send_lock = threading.Lock()
+        self._table_lock = threading.Lock()
+        self._next_id = 0
+        self._streams: dict[int, RemoteScanStream] = {}
+        self._replies: dict[int, queue.SimpleQueue] = {}
+        self._closed = False
+        #: Set by the reader when the wire dies; requests registered after
+        #: the outstanding-failure sweep check it so they fail fast instead
+        #: of waiting on a connection that will never answer.
+        self._dead: BaseException | None = None
+        self._reader = threading.Thread(
+            target=self._read_loop, name="tasm-client-reader", daemon=True
+        )
+        self._reader.start()
 
     def close(self) -> None:
+        self._closed = True
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
         self._sock.close()
+        self._reader.join(timeout=5.0)
 
     def __enter__(self) -> "RemoteTasmClient":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # The demultiplexing reader
+    # ------------------------------------------------------------------
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = recv_frame(self._sock)
+                if frame is None:
+                    self._fail_outstanding(ServiceError("connection closed"))
+                    return
+                kind, payload = frame
+                if kind == KIND_CHUNK:
+                    header, regions = decode_chunk_payload(payload)
+                    stream = self._stream_for(header.get("id"))
+                    if stream is not None:
+                        stream._deliver(("chunk", header["sot_index"], regions))
+                elif kind == KIND_JSON:
+                    self._dispatch_json(json.loads(bytes(payload).decode("utf-8")))
+                else:
+                    raise TransportError(f"unknown frame kind {kind}")
+        except (TransportError, ConnectionError, OSError) as error:
+            if self._closed:
+                self._fail_outstanding(ServiceError("client closed"))
+            else:
+                self._fail_outstanding(error)
+        except Exception as error:  # noqa: BLE001 — the reader must not die mute
+            # A malformed frame (corrupt JSON, truncated chunk header, a
+            # header missing keys — e.g. a version-skewed peer or a desynced
+            # byte stream) is a wire failure like any other: fail everything
+            # outstanding so blocked callers raise instead of waiting on a
+            # reader that no longer exists.
+            self._fail_outstanding(
+                TransportError(f"malformed frame from server: {error!r}")
+            )
+
+    def _dispatch_json(self, message: dict) -> None:
+        query_id = message.get("id")
+        message_type = message.get("type")
+        with self._table_lock:
+            stream = self._streams.get(query_id)
+            reply = self._replies.get(query_id)
+        if stream is not None and message_type in ("done", "error"):
+            with self._table_lock:
+                self._streams.pop(query_id, None)
+            if message_type == "done":
+                stream._deliver(("done", message))
+            else:
+                stream._fail_from_wire(ServiceError(message["message"]))
+        elif reply is not None:
+            with self._table_lock:
+                self._replies.pop(query_id, None)
+            reply.put(message)
+        # Responses for ids nobody waits on (e.g. a stream failed locally
+        # already) are dropped — the protocol has no unsolicited frames.
+
+    def _stream_for(self, query_id: int) -> RemoteScanStream | None:
+        with self._table_lock:
+            return self._streams.get(query_id)
+
+    def _fail_outstanding(self, error: BaseException) -> None:
+        with self._table_lock:
+            self._dead = error
+            streams = list(self._streams.values())
+            replies = list(self._replies.values())
+            self._streams.clear()
+            self._replies.clear()
+        for stream in streams:
+            stream._fail_from_wire(error)
+        for reply in replies:
+            reply.put({"type": "error", "message": str(error)})
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def _allocate_id(self) -> int:
+        with self._table_lock:
+            self._next_id += 1
+            return self._next_id
+
+    def _send(self, message: dict) -> None:
+        if self._closed:
+            raise ServiceError("the client is closed")
+        with self._table_lock:
+            dead = self._dead
+        if dead is not None:
+            raise ServiceError(f"connection failed: {dead}") from dead
+        with self._send_lock:
+            send_message(self._sock, message)
 
     def scan_streaming(
         self,
@@ -337,17 +724,26 @@ class RemoteTasmClient:
     ) -> RemoteScanStream:
         if isinstance(labels, str):
             labels = [labels]
-        send_message(
-            self._sock,
-            {
-                "op": "scan",
-                "video": video,
-                "labels": labels,
-                "frame_start": frame_start,
-                "frame_stop": frame_stop,
-            },
-        )
-        return RemoteScanStream(self._sock)
+        query_id = self._allocate_id()
+        stream = RemoteScanStream(query_id, self._buffer_chunks, self._timeout)
+        with self._table_lock:
+            self._streams[query_id] = stream
+        try:
+            self._send(
+                {
+                    "op": "scan",
+                    "id": query_id,
+                    "video": video,
+                    "labels": labels,
+                    "frame_start": frame_start,
+                    "frame_stop": frame_stop,
+                }
+            )
+        except BaseException:
+            with self._table_lock:
+                self._streams.pop(query_id, None)
+            raise
+        return stream
 
     def scan(
         self,
@@ -369,8 +765,7 @@ class RemoteTasmClient:
         y2: float,
         confidence: float = 1.0,
     ) -> None:
-        send_message(
-            self._sock,
+        reply = self._request(
             {
                 "op": "add_metadata",
                 "video": video,
@@ -381,15 +776,42 @@ class RemoteTasmClient:
                 "x2": x2,
                 "y2": y2,
                 "confidence": confidence,
-            },
+            }
         )
-        reply = recv_message(self._sock)
-        if reply is None or reply.get("type") != "ok":
+        if reply.get("type") != "ok":
             raise ServiceError(f"add_metadata failed: {reply}")
 
     def stats(self) -> dict:
-        send_message(self._sock, {"op": "stats"})
-        reply = recv_message(self._sock)
-        if reply is None or reply.get("type") != "stats":
+        reply = self._request({"op": "stats"})
+        if reply.get("type") != "stats":
             raise ServiceError(f"stats failed: {reply}")
         return reply
+
+    def _request(self, message: dict) -> dict:
+        """One blocking request/response exchange over the multiplexed wire."""
+        query_id = self._allocate_id()
+        pending: queue.SimpleQueue = queue.SimpleQueue()
+        with self._table_lock:
+            self._replies[query_id] = pending
+        try:
+            self._send({**message, "id": query_id})
+            return pending.get(timeout=self._timeout)
+        except queue.Empty:
+            raise ServiceError(
+                f"no reply to {message.get('op')!r} within {self._timeout} seconds"
+            ) from None
+        finally:
+            with self._table_lock:
+                self._replies.pop(query_id, None)
+
+
+# Build one assembled ScanResult from a done-frame (used by RemoteScanStream).
+def _assemble_result(done: dict, regions: list[ScanRegion]) -> ScanResult:
+    stats = DecodeStats(**done["stats"])
+    return ScanResult(
+        video=done["video"],
+        regions=regions,
+        stats=stats,
+        index_seconds=done["index_seconds"],
+        decode_seconds=done["decode_seconds"],
+    )

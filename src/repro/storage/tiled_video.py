@@ -10,6 +10,7 @@ incremental strategies weigh against accumulated regret.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -48,6 +49,10 @@ class TiledVideo:
     _retile_listeners: list[Callable[[str, int], None]] = field(
         default_factory=list, init=False
     )
+    #: Serialises lazy first-touch encoding: concurrent batch runners may read
+    #: the same unmaterialised SOT at once (both holding read locks), and
+    #: without this only luck keeps them from encoding it twice in parallel.
+    _encode_lock: threading.Lock = field(default_factory=threading.Lock, init=False)
 
     def __post_init__(self) -> None:
         self.layout_spec = VideoLayoutSpec(
@@ -86,11 +91,21 @@ class TiledVideo:
     # Encoded data access
     # ------------------------------------------------------------------
     def encoded_sot(self, sot_index: int) -> EncodedSot:
-        """The encoded form of a SOT, encoding it on first access."""
+        """The encoded form of a SOT, encoding it on first access.
+
+        Safe under concurrent readers: first-touch encoding runs under a
+        lock (double-checked), so two scans racing on a cold SOT encode it
+        once and both see the same :class:`EncodedSot`.  Writers (``retile``)
+        are already exclusive via the service layer's per-SOT write locks.
+        """
         cached = self._sots.get(sot_index)
         if cached is not None:
             return cached
-        return self._encode(sot_index, self.layout_for(sot_index), record=False)
+        with self._encode_lock:
+            cached = self._sots.get(sot_index)
+            if cached is not None:
+                return cached
+            return self._encode(sot_index, self.layout_for(sot_index), record=False)
 
     def is_materialised(self, sot_index: int) -> bool:
         """True when the SOT has already been encoded (lazy encode happened)."""

@@ -247,13 +247,24 @@ class VideoDecoder:
         scope: str | None,
         sot_index: int,
     ) -> dict[int, list[np.ndarray]]:
-        """Reconstruct each needed tile, via the cache when one is attached."""
+        """Reconstruct each needed tile, via the cache when one is attached.
+
+        Misses are single-flight across threads: when several concurrent
+        decodes (prefetch pool workers, or whole batches running on separate
+        service runners) miss on the same tile key at once, one leader
+        decodes while the rest wait and then hit the fresh entry — the same
+        tile is never decoded twice in parallel for the same depth.
+        """
         reconstructions: dict[int, list[np.ndarray]] = {}
         for tile_index, depth in tile_depth.items():
             tile = gop.tiles[tile_index]
-            key = None
-            if self.cache is not None and scope is not None:
-                key = (scope, sot_index, gop.frame_start, tile_index)
+            if self.cache is None or scope is None:
+                reconstructions[tile_index] = self._codec.decode_tile(
+                    tile, up_to_offset=depth, stats=result.stats
+                )
+                continue
+            key = (scope, sot_index, gop.frame_start, tile_index)
+            while True:
                 cached = self.cache.get(key, min_depth=depth, token=tile.checksums)
                 if cached is not None:
                     result.stats.cache_hits += 1
@@ -261,12 +272,19 @@ class VideoDecoder:
                         tile.pixels_per_frame * (depth + 1)
                     )
                     reconstructions[tile_index] = cached
-                    continue
-                result.stats.cache_misses += 1
-            frames = self._codec.decode_tile(tile, up_to_offset=depth, stats=result.stats)
-            if key is not None:
-                self.cache.put(key, frames, token=tile.checksums)
-            reconstructions[tile_index] = frames
+                    break
+                if not self.cache.begin_decode(key):
+                    continue  # another thread just decoded it; re-check
+                try:
+                    result.stats.cache_misses += 1
+                    frames = self._codec.decode_tile(
+                        tile, up_to_offset=depth, stats=result.stats
+                    )
+                    self.cache.put(key, frames, token=tile.checksums)
+                finally:
+                    self.cache.end_decode(key)
+                reconstructions[tile_index] = frames
+                break
         return reconstructions
 
     def _assemble_region(

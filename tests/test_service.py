@@ -335,15 +335,94 @@ class TestSocketTransport:
             server.stop()
 
     def test_unknown_op_reports_error_and_connection_survives(self, config):
+        """Spoken raw (no RemoteTasmClient, whose reader owns the socket), an
+        unknown op earns a tagged error frame and the connection stays usable."""
+        import socket as socket_module
+
+        from repro.service.transport import recv_message, send_message
+
         server, video = make_server(config)
         try:
             with SocketTransport(server) as transport:
-                from repro.service.transport import recv_message, send_message
-
-                with RemoteTasmClient(transport.address) as client:
-                    send_message(client._sock, {"op": "transmogrify"})
-                    reply = recv_message(client._sock)
+                with socket_module.create_connection(transport.address, timeout=10) as sock:
+                    send_message(sock, {"op": "transmogrify", "id": 7})
+                    reply = recv_message(sock)
                     assert reply["type"] == "error"
-                    assert client.stats()["queries_submitted"] >= 0
+                    assert reply["id"] == 7
+                    send_message(sock, {"op": "stats", "id": 8})
+                    reply = recv_message(sock)
+                    assert reply["type"] == "stats"
+                    assert reply["id"] == 8
         finally:
             server.stop()
+
+    def test_one_connection_carries_concurrent_scans(self, config):
+        """Acceptance: >= 4 concurrent scans multiplexed over one socket
+        connection, each byte-identical to a sequential ``scan()``."""
+        server, video = make_server(config)
+        reference, _ = make_tasm(config)
+        jobs = [
+            ("car", None, None),
+            ("person", None, None),
+            ("sign", None, None),
+            ("car", 0, 7),
+            ("person", 3, video.frame_count),
+        ]
+        results: dict[int, object] = {}
+        errors: list[BaseException] = []
+        try:
+            with SocketTransport(server) as transport:
+                with RemoteTasmClient(transport.address) as client:
+                    streams = [
+                        client.scan_streaming(video.name, label, start, stop)
+                        for label, start, stop in jobs
+                    ]
+                    in_flight = {stream.query_id for stream in streams}
+                    assert len(in_flight) == len(jobs), "each scan needs its own id"
+
+                    def consume(index: int) -> None:
+                        try:
+                            results[index] = streams[index].result()
+                        except BaseException as error:  # noqa: BLE001
+                            errors.append(error)
+
+                    workers = [
+                        threading.Thread(target=consume, args=(index,))
+                        for index in range(len(jobs))
+                    ]
+                    for worker in workers:
+                        worker.start()
+                    for worker in workers:
+                        worker.join(timeout=60)
+                        assert not worker.is_alive(), "a multiplexed scan hung"
+        finally:
+            server.stop()
+        assert not errors, errors
+        from repro.core.predicates import TemporalPredicate
+
+        for index, (label, start, stop) in enumerate(jobs):
+            temporal = (
+                TemporalPredicate.between(start if start is not None else 0, stop)
+                if start is not None or stop is not None
+                else None
+            )
+            assert_scan_results_identical(
+                results[index], reference.scan(video.name, label, temporal)
+            )
+
+    def test_remote_pixels_are_writable_like_in_process(self, config):
+        """Remote/in-process parity: a caller may annotate result pixels in
+        place, so the transport must hand back writable arrays."""
+        server, video = make_server(config)
+        try:
+            in_process = server.connect().scan(video.name, "car")
+            with SocketTransport(server) as transport:
+                with RemoteTasmClient(transport.address) as client:
+                    remote = client.scan(video.name, "car")
+        finally:
+            server.stop()
+        assert remote.regions, "the parity check needs at least one region"
+        for ours, theirs in zip(remote.regions, in_process.regions):
+            assert ours.pixels.flags.writeable == theirs.pixels.flags.writeable
+            assert ours.pixels.flags.writeable, "remote pixels must be writable"
+        remote.regions[0].pixels[0, 0] = 255  # must not raise

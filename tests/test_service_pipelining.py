@@ -1,0 +1,552 @@
+"""Pipelined batch runners, admission control, backpressure, and shutdown.
+
+The contracts pinned here:
+
+* with ``service_runners`` > 1, two batches genuinely execute at the same
+  time (proved with a barrier inside the decoder that only a concurrent pair
+  can pass), and results stay byte-identical to sequential ``scan()``;
+* admission control is round-robin per client: a greedy client with a deep
+  queue cannot keep another client's query out of the next batch;
+* a bounded stream buffer suspends the producer when the consumer stalls
+  (bounding producer-side memory) and resumes it when the consumer drains —
+  and ``result()`` on a bounded stream never deadlocks against its own
+  backpressure;
+* scheduler shutdown fails queued *and* in-flight streams with
+  :class:`ServiceError` instead of hanging their consumers;
+* a failed stream's terminal state is re-observable: every later iteration
+  or ``result()`` raises again (the old queue-sentinel design blocked the
+  second consumer forever);
+* a connection dying mid-frame raises :class:`TransportError` instead of
+  masquerading as a clean EOF.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.query import Query
+from repro.errors import ServiceError, TransportError
+from repro.service import TasmServer
+from repro.service.scheduler import BatchScheduler
+from repro.service.transport import _FRAME_HEADER, KIND_JSON, recv_message
+from tests.test_exec_engine import (
+    assert_scan_results_identical,
+    make_tasm,
+    random_queries,
+)
+
+CACHE_BYTES = 64 * 1024 * 1024
+
+
+def make_server(config, **service_overrides) -> tuple[TasmServer, object]:
+    overrides = {"decode_cache_bytes": CACHE_BYTES, **service_overrides}
+    tasm, video = make_tasm(config.with_updates(**overrides))
+    return TasmServer(tasm).start(), video
+
+
+def wait_until(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestRunnerPool:
+    def test_two_batches_execute_concurrently(self, config):
+        """Only a pool can pass this barrier: each runner's first decode call
+        blocks until another runner's decode call arrives — a serial
+        scheduler would sit alone at the barrier until it breaks."""
+        server, video = make_server(
+            config,
+            service_runners=2,
+            service_max_batch=1,  # force the two queries into two batches
+            service_batch_window_ms=0.0,
+        )
+        tasm = server.tasm
+        barrier = threading.Barrier(2)
+        first_call_done = set()
+        overlapped: list[bool] = []
+        original = tasm._decoder.prefetch_regions
+
+        def instrumented(sot, requests, scope):
+            thread_id = threading.get_ident()
+            if thread_id not in first_call_done:
+                first_call_done.add(thread_id)
+                try:
+                    barrier.wait(timeout=30)
+                    overlapped.append(True)
+                except threading.BrokenBarrierError:
+                    overlapped.append(False)
+            return original(sot, requests, scope)
+
+        tasm._decoder.prefetch_regions = instrumented
+        reference, _ = make_tasm(config)
+        try:
+            streams = [
+                server.submit(Query.select(label, video.name))
+                for label in ("car", "person")
+            ]
+            results = [stream.result(timeout=60) for stream in streams]
+        finally:
+            tasm._decoder.prefetch_regions = original
+            server.stop()
+
+        assert overlapped == [True, True], "batches must overlap across runners"
+        for result, label in zip(results, ("car", "person")):
+            assert_scan_results_identical(result, reference.scan(video.name, label))
+
+    def test_runner_pool_matches_sequential_results(self, config):
+        """4 runners, 4 clients, randomized workloads: byte-identical."""
+        server, video = make_server(
+            config, service_runners=4, service_batch_window_ms=2.0
+        )
+        reference, _ = make_tasm(config)
+        client_queries = [
+            random_queries(video.name, video.frame_count, seed=seed, count=4)
+            for seed in range(4)
+        ]
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(4)
+
+        def run_client(index: int) -> None:
+            try:
+                client = server.connect()
+                barrier.wait()
+                results[index] = [
+                    client.execute(query) for query in client_queries[index]
+                ]
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run_client, args=(index,)) for index in range(4)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+                assert not thread.is_alive(), "client thread hung"
+        finally:
+            server.stop()
+        assert not errors, errors
+        for index, queries in enumerate(client_queries):
+            for result, query in zip(results[index], queries):
+                assert_scan_results_identical(result, reference.execute(query))
+
+    def test_sqlite_backend_survives_concurrent_runners(self, config):
+        """Batch runners plan from several threads; the sqlite index must not
+        be pinned to its creating thread."""
+        from repro.core.tasm import TASM
+        from tests.conftest import build_tiny_video
+
+        video = build_tiny_video()
+        tasm = TASM(
+            config=config.with_updates(
+                decode_cache_bytes=CACHE_BYTES,
+                service_runners=3,
+                service_max_batch=1,
+                service_batch_window_ms=0.0,
+            ),
+            index_backend="sqlite",
+        )
+        tasm.ingest(video)
+        tasm.add_detections(
+            video.name,
+            [
+                detection
+                for frame in range(video.frame_count)
+                for detection in video.ground_truth(frame)
+            ],
+        )
+        reference, _ = make_tasm(config)
+        with TasmServer(tasm) as server:
+            streams = [
+                server.submit(Query.select(label, video.name))
+                for label in ("car", "person", "sign")
+            ]
+            for stream, label in zip(streams, ("car", "person", "sign")):
+                assert_scan_results_identical(
+                    stream.result(timeout=60), reference.scan(video.name, label)
+                )
+
+
+class TestSingleFlightDecode:
+    def test_overlapping_batches_decode_each_tile_once(self, config):
+        """Two racing batches over the same cold tiles must do one batch's
+        decode work: concurrent misses on a tile key are single-flight, the
+        follower waits and hits instead of decoding in duplicate."""
+        server, video = make_server(
+            config,
+            service_runners=2,
+            service_max_batch=1,
+            service_batch_window_ms=0.0,
+        )
+        tasm = server.tasm
+        barrier = threading.Barrier(2)
+        first_call_done = set()
+        original = tasm._decoder.prefetch_regions
+
+        def instrumented(sot, requests, scope):
+            thread_id = threading.get_ident()
+            if thread_id not in first_call_done:
+                first_call_done.add(thread_id)
+                try:
+                    barrier.wait(timeout=30)  # both batches live before decoding
+                except threading.BrokenBarrierError:
+                    pass
+            return original(sot, requests, scope)
+
+        tasm._decoder.prefetch_regions = instrumented
+        reference, _ = make_tasm(config)
+        try:
+            streams = [
+                server.submit(Query.select("car", video.name)) for _ in range(2)
+            ]
+            results = [stream.result(timeout=60) for stream in streams]
+        finally:
+            tasm._decoder.prefetch_regions = original
+            server.stop()
+        expected = reference.scan(video.name, "car")
+        for result in results:
+            assert_scan_results_identical(result, expected)
+        assert server.stats().pixels_decoded == expected.pixels_decoded, (
+            "racing batches must not decode the same tiles twice"
+        )
+
+
+class TestAdmissionControl:
+    def test_round_robin_gives_every_client_a_slot(self, config):
+        """6 queued greedy queries cannot keep the light client out of the
+        next batch: rotation takes one per client before seconds."""
+        tasm, video = make_tasm(config)
+        scheduler = BatchScheduler(tasm, window_ms=0.0, max_batch=4)
+        scheduler._running = True  # accept submissions without threads
+        try:
+            greedy = [
+                scheduler.submit(Query.select("car", video.name), client="greedy")
+                for _ in range(6)
+            ]
+            light = scheduler.submit(Query.select("person", video.name), client="light")
+            batch: list = []
+            with scheduler._cond:
+                scheduler._take_round_robin(batch)
+            assert len(batch) == 4
+            assert batch[0] is greedy[0]
+            assert batch[1] is light, "the light client must ride the next batch"
+            assert batch[2] is greedy[1] and batch[3] is greedy[2]
+            # Second batch drains the greedy backlog (work conservation).
+            second: list = []
+            with scheduler._cond:
+                scheduler._take_round_robin(second)
+            assert second == greedy[3:6]
+            assert scheduler.queue_depth == 0
+        finally:
+            scheduler._running = False
+
+    def test_lone_client_still_fills_a_batch(self, config):
+        tasm, video = make_tasm(config)
+        scheduler = BatchScheduler(tasm, window_ms=0.0, max_batch=3)
+        scheduler._running = True
+        try:
+            streams = [
+                scheduler.submit(Query.select("car", video.name), client="only")
+                for _ in range(5)
+            ]
+            batch: list = []
+            with scheduler._cond:
+                scheduler._take_round_robin(batch)
+            assert batch == streams[:3]
+        finally:
+            scheduler._running = False
+
+
+class TestBackpressure:
+    def test_full_buffer_suspends_producer_until_consumer_drains(self, config):
+        """A 3-SOT scan against a 1-chunk buffer: the producer must park with
+        exactly one undelivered chunk, then finish once the consumer reads."""
+        server, video = make_server(
+            config, service_stream_buffer_chunks=1, service_batch_window_ms=0.0
+        )
+        reference, _ = make_tasm(config)
+        sot_count = server.tasm.video(video.name).sot_count
+        assert sot_count >= 3, "the backpressure test needs a multi-SOT scan"
+        try:
+            stream = server.connect().scan_streaming(video.name, "car")
+            assert wait_until(lambda: stream.buffered_chunks == 1), (
+                "the producer never delivered a first chunk"
+            )
+            # The producer is now suspended: the buffer stays at its bound and
+            # the query cannot complete while undelivered chunks remain.
+            time.sleep(0.1)
+            assert stream.buffered_chunks == 1, "buffer exceeded its bound"
+            assert not stream.done, "the producer finished despite a full buffer"
+            chunks = []
+            for chunk in stream:
+                assert stream.buffered_chunks <= 1
+                chunks.append(chunk)
+            result = stream.result(timeout=30)
+        finally:
+            server.stop()
+        assert len(chunks) == sot_count
+        assert_scan_results_identical(result, reference.scan(video.name, "car"))
+
+    def test_result_only_consumer_never_deadlocks_on_bounded_stream(self, config):
+        """``result()`` without iteration must drain (and discard) chunks so
+        its own backpressure cannot wedge the producer."""
+        server, video = make_server(
+            config, service_stream_buffer_chunks=1, service_batch_window_ms=0.0
+        )
+        reference, _ = make_tasm(config)
+        try:
+            stream = server.connect().scan_streaming(video.name, "car")
+            result = stream.result(timeout=30)
+        finally:
+            server.stop()
+        assert_scan_results_identical(result, reference.scan(video.name, "car"))
+
+    def test_slow_remote_consumer_stays_bounded_and_correct(self, config):
+        """Over the socket with 1-chunk buffers at every hop, a consumer that
+        dawdles between chunks never sees more than the bound queued
+        client-side, and the scan still completes byte-identically."""
+        from repro.service import RemoteTasmClient, SocketTransport
+
+        server, video = make_server(
+            config, service_stream_buffer_chunks=1, service_batch_window_ms=0.0
+        )
+        reference, _ = make_tasm(config)
+        try:
+            with SocketTransport(server) as transport:
+                with RemoteTasmClient(
+                    transport.address, stream_buffer_chunks=1
+                ) as client:
+                    remote = client.scan_streaming(video.name, "car")
+                    chunks = []
+                    for sot_index, regions in remote:
+                        assert remote._events.qsize() <= 1, (
+                            "client-side buffering exceeded its bound"
+                        )
+                        chunks.append((sot_index, regions))
+                        time.sleep(0.05)  # a slow consumer
+                    result = remote.result()
+        finally:
+            server.stop()
+        assert len(chunks) >= 2, "the slow-consumer test needs a multi-SOT scan"
+        assert_scan_results_identical(result, reference.scan(video.name, "car"))
+
+
+class TestConsumerAbandon:
+    def test_close_releases_suspended_producer(self, config):
+        """A consumer that walks away from a partially read bounded stream
+        must not wedge the batch runner: close() releases the producer and
+        later queries are served normally."""
+        server, video = make_server(
+            config,
+            service_runners=1,
+            service_stream_buffer_chunks=1,
+            service_batch_window_ms=0.0,
+        )
+        reference, _ = make_tasm(config)
+        try:
+            abandoned = server.connect().scan_streaming(video.name, "car")
+            assert wait_until(lambda: abandoned.buffered_chunks == 1)
+            assert not abandoned.done, "producer should be suspended, not done"
+            abandoned.close()  # walk away without draining
+            # The lone runner must come free: a follow-up scan completes.
+            follow_up = server.connect().scan(video.name, "person")
+            assert_scan_results_identical(
+                follow_up, reference.scan(video.name, "person")
+            )
+            with pytest.raises(ServiceError):
+                abandoned.result(timeout=5)
+        finally:
+            server.stop()
+
+    def test_close_after_completion_is_a_no_op(self, config):
+        server, video = make_server(config)
+        try:
+            stream = server.connect().scan_streaming(video.name, "car")
+            result = stream.result(timeout=30)
+            stream.close()
+            assert stream.result(timeout=5) is result, (
+                "closing a completed stream must not discard its result"
+            )
+        finally:
+            server.stop()
+
+
+class TestClientTimeouts:
+    def _silent_server(self):
+        """A listener that accepts, reads requests, and never answers."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        return listener, listener.getsockname()[:2]
+
+    def test_stream_read_times_out_instead_of_hanging(self):
+        from repro.service import RemoteTasmClient
+
+        listener, address = self._silent_server()
+        try:
+            client = RemoteTasmClient(address, timeout=0.3)
+            conn, _ = listener.accept()
+            stream = client.scan_streaming("some-video", "car")
+            recv_message(conn)  # swallow the request; answer nothing
+            with pytest.raises(ServiceError):
+                stream.result()
+            client.close()
+            conn.close()
+        finally:
+            listener.close()
+
+    def test_malformed_frame_fails_outstanding_requests(self):
+        """A corrupt frame must kill the demux loudly: blocked callers raise
+        instead of waiting on a reader thread that died."""
+        from repro.service import RemoteTasmClient
+        from repro.service.transport import KIND_JSON, send_frame
+
+        listener, address = self._silent_server()
+        try:
+            client = RemoteTasmClient(address, timeout=5.0)
+            conn, _ = listener.accept()
+            stream = client.scan_streaming("some-video", "car")
+            recv_message(conn)
+            send_frame(conn, KIND_JSON, b"\xff\xfe this is not json")
+            with pytest.raises(ServiceError):
+                stream.result()
+            # The connection is marked dead: new requests fail fast.
+            with pytest.raises(ServiceError):
+                client.stats()
+            client.close()
+            conn.close()
+        finally:
+            listener.close()
+
+
+class TestShutdown:
+    def test_stop_fails_queued_and_inflight_streams(self, config):
+        """A runner wedged mid-decode must not strand anyone: queued streams
+        fail at stop, the in-flight stream fails after the drain deadline."""
+        server, video = make_server(
+            config,
+            service_runners=1,
+            service_max_batch=1,
+            service_batch_window_ms=0.0,
+        )
+        tasm = server.tasm
+        entered = threading.Event()
+        gate = threading.Event()
+        original = tasm._decoder.prefetch_regions
+
+        def instrumented(sot, requests, scope):
+            entered.set()
+            gate.wait(timeout=60)
+            return original(sot, requests, scope)
+
+        tasm._decoder.prefetch_regions = instrumented
+        try:
+            in_flight = server.submit(Query.select("car", video.name))
+            assert entered.wait(timeout=10), "the in-flight batch never started"
+            queued = [
+                server.submit(Query.select("person", video.name)) for _ in range(3)
+            ]
+            server._scheduler.stop(timeout=0.5)
+            for stream in queued:
+                with pytest.raises(ServiceError):
+                    stream.result(timeout=10)
+            with pytest.raises(ServiceError):
+                in_flight.result(timeout=10)
+            with pytest.raises(ServiceError):
+                list(in_flight)
+        finally:
+            gate.set()  # release the wedged runner so its thread can exit
+            tasm._decoder.prefetch_regions = original
+
+    def test_submit_during_shutdown_raises_not_hangs(self, config):
+        server, video = make_server(config)
+        server.stop()
+        with pytest.raises(ServiceError):
+            server.submit(Query.select("car", video.name))
+
+
+class TestTerminalStateReobservable:
+    def test_failed_stream_raises_on_every_consumer(self, config):
+        """Satellite regression: the single queue sentinel used to be eaten
+        by the first iterator, blocking the second forever."""
+        server, video = make_server(config)
+        tasm = server.tasm
+
+        def explode(sot, requests, scope):
+            raise RuntimeError("decoder exploded")
+
+        tasm._decoder.prefetch_regions = explode
+        try:
+            stream = server.connect().scan_streaming(video.name, "car")
+            for _ in range(3):
+                with pytest.raises(ServiceError):
+                    list(stream)
+                with pytest.raises(ServiceError):
+                    stream.result(timeout=10)
+        finally:
+            server.stop()
+
+    def test_remote_failed_stream_raises_on_every_consumer(self, config):
+        from repro.service import RemoteTasmClient, SocketTransport
+
+        server, video = make_server(config)
+        tasm = server.tasm
+
+        def explode(sot, requests, scope):
+            raise RuntimeError("decoder exploded")
+
+        tasm._decoder.prefetch_regions = explode
+        try:
+            with SocketTransport(server) as transport:
+                with RemoteTasmClient(transport.address) as client:
+                    stream = client.scan_streaming(video.name, "car")
+                    for _ in range(3):
+                        with pytest.raises(ServiceError):
+                            list(stream)
+                        with pytest.raises(ServiceError):
+                            stream.result()
+        finally:
+            server.stop()
+
+
+class TestWireFraming:
+    def test_clean_eof_at_frame_boundary_returns_none(self):
+        ours, theirs = socket.socketpair()
+        ours.close()
+        try:
+            assert recv_message(theirs) is None
+        finally:
+            theirs.close()
+
+    def test_eof_inside_header_raises(self):
+        ours, theirs = socket.socketpair()
+        ours.sendall(b"\x00\x00")  # two of the five header bytes
+        ours.close()
+        try:
+            with pytest.raises(TransportError):
+                recv_message(theirs)
+        finally:
+            theirs.close()
+
+    def test_eof_inside_payload_raises(self):
+        ours, theirs = socket.socketpair()
+        # A frame promising 100 payload bytes, delivering 10.
+        ours.sendall(_FRAME_HEADER.pack(KIND_JSON, 100) + b"x" * 10)
+        ours.close()
+        try:
+            with pytest.raises(TransportError):
+                recv_message(theirs)
+        finally:
+            theirs.close()
+
+    def test_transport_error_is_a_service_error(self):
+        assert issubclass(TransportError, ServiceError)
