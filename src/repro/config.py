@@ -155,6 +155,14 @@ class TasmConfig:
     #: (backpressure).  0 means unbounded (no suspension), which restores the
     #: pre-backpressure behaviour.
     service_stream_buffer_chunks: int = 64
+    #: Size in bytes of the per-connection shared-memory pixel ring offered
+    #: by :class:`~repro.service.transport.ShmTransport` to same-host clients
+    #: that request it at the hello handshake.  Pixel payloads then travel
+    #: through the ring (one memcpy in, one out, no kernel transit) while
+    #: only small descriptor frames cross the socket; a chunk that does not
+    #: fit the ring's free space falls back to the socket path.  Plain
+    #: ``SocketTransport`` never offers a ring regardless of this value.
+    service_shm_ring_bytes: int = 16 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -188,6 +196,10 @@ class TasmConfig:
         if self.service_stream_buffer_chunks < 0:
             raise ConfigurationError(
                 "service_stream_buffer_chunks must be non-negative (0 = unbounded)"
+            )
+        if self.service_shm_ring_bytes < 0:
+            raise ConfigurationError(
+                "service_shm_ring_bytes must be non-negative (0 = no shared-memory ring)"
             )
 
     @property

@@ -173,6 +173,7 @@ class TASM:
         queries: Sequence[Query],
         max_workers: int | None = None,
         observer=None,
+        cancelled=None,
     ) -> "BatchResult":
         """Execute a batch of queries, decoding each needed tile at most once.
 
@@ -183,9 +184,12 @@ class TASM:
         ``observer`` receives per-SOT streaming events as results materialise
         (see :class:`~repro.exec.engine.PartialResult`); the service layer
         uses it to stream results to clients before the batch finishes.
+        ``cancelled`` (an optional ``plan index -> bool`` probe) lets the
+        caller withdraw queries mid-batch; their remaining per-SOT work is
+        skipped (see :meth:`repro.exec.engine.BatchExecutor.execute_batch`).
         """
         return self._executor.execute_batch(
-            queries, max_workers=max_workers, observer=observer
+            queries, max_workers=max_workers, observer=observer, cancelled=cancelled
         )
 
     # ------------------------------------------------------------------

@@ -74,6 +74,15 @@ class ServiceError(TasmError):
     error propagated from a batch a streamed query belonged to)."""
 
 
+class StreamCancelledError(ServiceError):
+    """Raised when waiting on a stream whose consumer cancelled it.
+
+    ``ResultStream.close()`` (and its remote mirror, which additionally sends
+    a ``CANCEL`` frame so the server stops producing) moves the stream to
+    this terminal state; any later ``result()`` or iteration raises instead
+    of waiting for chunks that will never come."""
+
+
 class TransportError(ServiceError):
     """Raised by the socket transport for wire-level failures.
 
@@ -83,3 +92,11 @@ class TransportError(ServiceError):
     Protocol violations (unknown frame kinds, malformed headers) raise this
     too, so callers can distinguish "the wire broke" from server-reported
     query failures."""
+
+
+class ProtocolError(TransportError):
+    """Raised when the two ends of the wire disagree about the protocol.
+
+    The hello handshake pins the protocol version (and negotiates the
+    optional shared-memory pixel path); a peer speaking a different version
+    gets this instead of silently desynchronising the byte stream."""

@@ -196,6 +196,7 @@ class QueryExecutor:
         queries: Sequence[Query],
         max_workers: int | None = None,
         observer: Callable[[StreamEvent], None] | None = None,
+        cancelled: Callable[[int], bool] | None = None,
     ) -> BatchResult:
         """Execute a batch of queries, decoding each needed tile at most once.
 
@@ -226,6 +227,15 @@ class QueryExecutor:
         batch holds; it must be unblockable (the service layer's streams drop
         pushes once a stream reaches terminal state for exactly this reason).
 
+        ``cancelled``, when given, is polled with a query's index before work
+        is done on its behalf: a query reported cancelled has its remaining
+        per-SOT serves skipped (no further observer events fire for it), and
+        a SOT *every* interested query has abandoned is neither prefetched
+        nor served — so an abandoned scan stops consuming decode time within
+        roughly one SOT (one GOP at the default layout duration) instead of
+        running to completion for nobody.  Its entry in ``results`` holds
+        whatever had been assembled before cancellation.
+
         Like ``execute``, the batch holds read locks on each touched video
         while planning (released before decoding, so metadata writes only
         serialize against planners) and on every ``(video, SOT)`` it decodes
@@ -239,7 +249,7 @@ class QueryExecutor:
         sot_held: list = []
         try:
             return self._execute_batch_locked(
-                queries, max_workers, observer, locks, video_held, sot_held
+                queries, max_workers, observer, cancelled, locks, video_held, sot_held
             )
         finally:
             locks.release_read(video_held)
@@ -250,6 +260,7 @@ class QueryExecutor:
         queries: Sequence[Query],
         max_workers: int | None,
         observer: Callable[[StreamEvent], None] | None,
+        cancelled: Callable[[int], bool] | None,
         locks,
         video_held: list,
         sot_held: list,
@@ -300,9 +311,19 @@ class QueryExecutor:
         # Streaming bookkeeping: how many SOT groups each query still waits
         # on; a query is done the moment its count reaches zero.
         pending_sots = [len(plan.sot_requests) for plan in plans]
+
+        def _is_cancelled(plan_index: int) -> bool:
+            return cancelled is not None and cancelled(plan_index)
+
+        def _fully_cancelled(key: tuple[str, int]) -> bool:
+            """True when every query interested in this SOT has been abandoned."""
+            return cancelled is not None and all(
+                cancelled(plan_index) for plan_index, _ in members[key]
+            )
+
         if observer is not None:
             for plan_index, remaining in enumerate(pending_sots):
-                if remaining == 0:
+                if remaining == 0 and not _is_cancelled(plan_index):
                     observer(QueryDone(plan_index, results[plan_index]))
         warm_stats = DecodeStats()
         warm_seconds = 0.0
@@ -316,6 +337,9 @@ class QueryExecutor:
             """Answer every query's requests for one SOT from the warm cache."""
             elapsed = 0.0
             for plan_index, requests in members[key]:
+                if _is_cancelled(plan_index):
+                    pending_sots[plan_index] -= 1
+                    continue
                 result = results[plan_index]
                 regions_before = len(result.regions)
                 decoded = decoder.decode_regions(encoded[key], requests, scope=key[0])
@@ -353,6 +377,13 @@ class QueryExecutor:
         # SOT working sets.  SOT order is ascending per video, so each
         # query's regions accumulate in the same order a sequential scan
         # would produce them.
+        def _skip_group(key: tuple[str, int]) -> None:
+            """Bookkeeping for a SOT every interested query has abandoned."""
+            for plan_index, _ in members[key]:
+                pending_sots[plan_index] -= 1
+            if batch_scoped_cache:
+                cache.invalidate_sot(key[0], key[1])
+
         ordered_keys = sorted(union)
         if workers > 1 and len(ordered_keys) > 1:
             window = min(workers, len(ordered_keys))
@@ -362,14 +393,25 @@ class QueryExecutor:
                 for cursor, key in enumerate(ordered_keys):
                     while next_submit < len(ordered_keys) and next_submit - cursor < window:
                         pending_key = ordered_keys[next_submit]
-                        in_flight[pending_key] = pool.submit(_prefetch, pending_key)
+                        # A fully abandoned SOT is not worth a prefetch slot;
+                        # checked again at serve time for ones already warming.
+                        if not _fully_cancelled(pending_key):
+                            in_flight[pending_key] = pool.submit(_prefetch, pending_key)
                         next_submit += 1
-                    warm = in_flight.pop(key).result()
-                    warm_stats.merge(warm.stats)
-                    warm_seconds += warm.elapsed_seconds
+                    future = in_flight.pop(key, None)
+                    if future is not None:
+                        warm = future.result()
+                        warm_stats.merge(warm.stats)
+                        warm_seconds += warm.elapsed_seconds
+                    if _fully_cancelled(key):
+                        _skip_group(key)
+                        continue
                     serve_seconds += _serve_group(key)
         else:
             for key in ordered_keys:
+                if _fully_cancelled(key):
+                    _skip_group(key)
+                    continue
                 warm = _prefetch(key)
                 warm_stats.merge(warm.stats)
                 warm_seconds += warm.elapsed_seconds

@@ -23,22 +23,38 @@ available to *many concurrent callers*, the deployment VSS targets:
   ``RemoteTasmClient`` — a multiplexed socket transport for cross-process
   callers: tagged query ids carry any number of concurrent scans over one
   connection, pixel payloads travel as length-prefixed raw bytes (a binary
-  frame kind, not JSON+base64), and bounded queues at every hop turn a slow
-  client into producer-side suspension instead of unbounded buffering.
+  frame kind, not JSON+base64), and per-stream chunk *credits* turn a slow
+  consumer into suspension of its own stream's server-side pump — never the
+  connection's writer or its other streams (no head-of-line blocking).  A
+  wire-level ``CANCEL`` lets a consumer abandon a scan so the server skips
+  its remaining decode work.
+* :class:`~repro.service.transport.ShmTransport` — the same transport, plus
+  a per-connection shared-memory pixel ring negotiated at the hello
+  handshake: same-host clients receive pixel payloads through shared memory
+  (descriptors only on the socket), with clean per-chunk fallback to the
+  socket path when the ring is full or the negotiation fails.
 """
 
 from .scheduler import BatchScheduler, ResultStream, StreamChunk
 from .server import DEFAULT_SERVER_CACHE_BYTES, ServerStats, TasmServer
 from .client import TasmClient
-from .transport import RemoteScanStream, RemoteTasmClient, SocketTransport
+from .transport import (
+    PROTOCOL_VERSION,
+    RemoteScanStream,
+    RemoteTasmClient,
+    ShmTransport,
+    SocketTransport,
+)
 
 __all__ = [
     "BatchScheduler",
     "DEFAULT_SERVER_CACHE_BYTES",
+    "PROTOCOL_VERSION",
     "RemoteScanStream",
     "RemoteTasmClient",
     "ResultStream",
     "ServerStats",
+    "ShmTransport",
     "SocketTransport",
     "StreamChunk",
     "TasmClient",

@@ -39,7 +39,7 @@ from typing import Callable, Hashable, Iterator, Sequence
 
 from ..core.query import Query
 from ..core.scan import ScanRegion, ScanResult
-from ..errors import ServiceError
+from ..errors import ServiceError, StreamCancelledError
 from ..exec.engine import BatchResult, PartialResult, QueryDone
 from ..video.codec import DecodeStats
 
@@ -89,6 +89,13 @@ class ResultStream:
         self._done = threading.Event()
         self._result: ScanResult | None = None
         self._error: BaseException | None = None
+        #: True once the consumer abandoned the stream via :meth:`close` (as
+        #: opposed to failing by shutdown or a batch error) — the scheduler
+        #: reads it to skip the query's remaining work and count the cancel.
+        self._closed_by_consumer = False
+        #: Liveness probe installed by the scheduler at submit: waiters poll
+        #: it so a crashed runner pool fails them loudly instead of hanging.
+        self._liveness: Callable[[], bool] | None = None
 
     # ------------------------------------------------------------------
     # Producer side (batch runner threads)
@@ -123,16 +130,18 @@ class ResultStream:
             self._done.set()
             self._cond.notify_all()
 
-    def _fail(self, error: BaseException) -> None:
+    def _fail(self, error: BaseException) -> bool:
+        """Move to the failed terminal state; True if this call did it."""
         with self._cond:
             if self._done.is_set():
-                return
+                return False
             self._error = error
             self.completed_at = time.perf_counter()
             self._done.set()
             # Wakes consumers *and* any producer suspended on a full buffer
             # (it re-checks the terminal flag and drops its chunk).
             self._cond.notify_all()
+            return True
 
     # ------------------------------------------------------------------
     # Consumer side (client thread)
@@ -142,18 +151,23 @@ class ResultStream:
 
         Releases a producer suspended on this stream's full buffer (its later
         pushes are dropped) so walking away from a partially consumed bounded
-        stream can never wedge the batch runner producing it.  A stream whose
-        query already completed is unaffected; an abandoned one raises
-        :class:`ServiceError` from ``result()``.  Always call this (or drain
-        the stream) when breaking out of iteration early.
+        stream can never wedge the batch runner producing it, and marks the
+        query cancelled — the scheduler skips its remaining per-SOT work
+        (pending queries are dropped before ever entering a batch) so an
+        abandoned scan frees runner time instead of decoding for nobody.  A
+        stream whose query already completed is unaffected; an abandoned one
+        raises :class:`ServiceError` from ``result()``.  Always call this (or
+        drain the stream) when breaking out of iteration early.
         """
-        self._fail(ServiceError("stream closed by its consumer"))
+        if self._fail(StreamCancelledError("stream closed by its consumer")):
+            self._closed_by_consumer = True
 
     def __iter__(self) -> Iterator[StreamChunk]:
         while True:
             with self._cond:
                 while not self._buffer and not self._done.is_set():
-                    self._cond.wait()
+                    self._cond.wait(_LIVENESS_TICK_SECONDS)
+                    self._check_liveness()
                 if self._buffer:
                     chunk = self._buffer.popleft()
                     self._cond.notify_all()  # free a suspended producer
@@ -166,7 +180,14 @@ class ResultStream:
             yield chunk
 
     def result(self, timeout: float | None = None) -> ScanResult:
-        """Block until the query completes; the full, in-order ScanResult."""
+        """Block until the query completes; the full, in-order ScanResult.
+
+        Waiters poll the scheduler's liveness between wakeups: if the threads
+        that would complete this query are gone (a crashed runner pool, a
+        scheduler torn down without failing its streams), ``result()`` raises
+        :class:`ServiceError` promptly — even with ``timeout=None`` — instead
+        of blocking on a completion that can never arrive.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while not self._done.is_set():
@@ -180,7 +201,13 @@ class ResultStream:
                     raise ServiceError(
                         f"query did not complete within {timeout} seconds"
                     )
-                self._cond.wait(remaining)
+                tick = (
+                    _LIVENESS_TICK_SECONDS
+                    if remaining is None
+                    else min(remaining, _LIVENESS_TICK_SECONDS)
+                )
+                self._cond.wait(tick)
+                self._check_liveness()
             if self._error is not None:
                 raise ServiceError(
                     f"query failed in its batch: {self._error}"
@@ -188,9 +215,23 @@ class ResultStream:
             assert self._result is not None
             return self._result
 
+    def _check_liveness(self) -> None:
+        """Raise (caller holds the condition) if the scheduler can never
+        complete this stream.  A stream already terminal needs no liveness."""
+        if self._done.is_set() or self._liveness is None or self._liveness():
+            return
+        raise ServiceError(
+            "the scheduler's worker threads are gone; the query can never complete"
+        )
+
     @property
     def done(self) -> bool:
         return self._done.is_set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the consumer abandoned the stream via :meth:`close`."""
+        return self._closed_by_consumer
 
     @property
     def buffered_chunks(self) -> int:
@@ -214,6 +255,11 @@ class ResultStream:
 
 #: Queue sentinel asking a batch-runner thread to exit.
 _SHUTDOWN = object()
+
+#: How often blocked consumers re-check scheduler liveness.  Purely a bound
+#: on how long a waiter can outlive a crashed runner pool; normal completion
+#: wakes waiters via the condition, not the tick.
+_LIVENESS_TICK_SECONDS = 0.5
 
 
 class BatchScheduler:
@@ -257,6 +303,10 @@ class BatchScheduler:
         self._counter_lock = threading.Lock()
         self.batches_executed = 0
         self.queries_completed = 0
+        #: Queries abandoned by their consumer (``ResultStream.close()`` or a
+        #: wire ``CANCEL``) before completing — dropped while pending or
+        #: skipped mid-batch.
+        self.queries_cancelled = 0
         self.total_stats = DecodeStats()
 
     # ------------------------------------------------------------------
@@ -336,6 +386,23 @@ class BatchScheduler:
     def running(self) -> bool:
         return self._running
 
+    def _workers_alive(self) -> bool:
+        """True while the threads that could still complete a stream exist.
+
+        Liveness for waiters: a collector that died, or a runner pool with no
+        surviving thread, can never complete an accepted query — blocked
+        ``result()`` calls must raise rather than wait forever.  A scheduler
+        driven without threads (tests poke ``_running`` directly) reports
+        alive; it has no pool to crash.
+        """
+        collector = self._collector
+        runners = self._runners
+        if collector is None or not runners:
+            return True
+        return collector.is_alive() and any(
+            runner.is_alive() for runner in runners
+        )
+
     @property
     def queue_depth(self) -> int:
         """Queries accepted but not yet dispatched into a batch."""
@@ -353,6 +420,7 @@ class BatchScheduler:
         slot between them.
         """
         stream = ResultStream(query, buffer_chunks=self._stream_buffer_chunks)
+        stream._liveness = self._workers_alive
         with self._state_lock:
             if not self._running:
                 raise ServiceError("the server is not running")
@@ -413,8 +481,17 @@ class BatchScheduler:
         while len(batch) < self._max_batch and self._pending_order:
             client = self._pending_order.popleft()
             bucket = self._pending[client]
-            batch.append(bucket.popleft())
+            stream = bucket.popleft()
             self._pending_count -= 1
+            if stream.done:
+                # Terminal while queued (cancelled by its consumer, or failed
+                # elsewhere): its consumer already has an answer, so it never
+                # costs a batch slot or a decode.
+                if stream.cancelled:
+                    with self._counter_lock:
+                        self.queries_cancelled += 1
+            else:
+                batch.append(stream)
             if bucket:
                 self._pending_order.append(client)
             else:
@@ -430,6 +507,14 @@ class BatchScheduler:
                 return
             try:
                 self._execute(item)
+            except BaseException as error:  # noqa: BLE001 — keep the runner alive
+                # _execute fails offending streams itself; anything escaping
+                # it (a terminal-transition bug, a callback raising) must not
+                # kill the runner thread silently — fail the batch's streams
+                # so their waiters raise, and keep serving later batches.
+                for stream in item:
+                    if not stream.done:
+                        stream._fail(error)
             finally:
                 with self._cond:
                     self._in_flight.difference_update(item)
@@ -448,7 +533,14 @@ class BatchScheduler:
 
         try:
             result = self._tasm.execute_batch(
-                [stream.query for stream in batch], observer=observer
+                [stream.query for stream in batch],
+                observer=observer,
+                # A terminal stream (cancelled by its consumer, failed at
+                # shutdown, abandoned by a dead connection) wants no further
+                # work: the executor skips its remaining per-SOT serves and
+                # whole SOTs only it needed, freeing the runner within ~one
+                # GOP of the cancel.
+                cancelled=lambda index: batch[index].done,
             )
         except BaseException as error:  # noqa: BLE001 — must fail the waiters
             # One bad query (unknown video, malformed predicate) must not
@@ -468,9 +560,11 @@ class BatchScheduler:
                 else:
                     self._execute([stream])
             return
+        cancelled_in_batch = sum(1 for stream in batch if stream.cancelled)
         with self._counter_lock:
             self.batches_executed += 1
-            self.queries_completed += len(batch)
+            self.queries_completed += len(batch) - cancelled_in_batch
+            self.queries_cancelled += cancelled_in_batch
             self.total_stats.merge(result.stats)
         if self._on_batch_done is not None:
             self._on_batch_done(result)

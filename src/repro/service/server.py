@@ -60,6 +60,9 @@ class ServerStats:
     uptime_seconds: float
     queries_submitted: int
     queries_completed: int
+    #: Queries abandoned by their consumer (stream ``close()`` or a wire
+    #: ``CANCEL``) before completing; their remaining decode work was skipped.
+    queries_cancelled: int
     #: Completed queries per second of uptime.
     qps: float
     #: Queries accepted but not yet dispatched into a batch.
@@ -85,6 +88,7 @@ class ServerStats:
             "uptime_seconds": self.uptime_seconds,
             "queries_submitted": self.queries_submitted,
             "queries_completed": self.queries_completed,
+            "queries_cancelled": self.queries_cancelled,
             "qps": self.qps,
             "queue_depth": self.queue_depth,
             "batches_executed": self.batches_executed,
@@ -253,6 +257,7 @@ class TasmServer:
             uptime_seconds=uptime,
             queries_submitted=submitted,
             queries_completed=completed,
+            queries_cancelled=self._scheduler.queries_cancelled,
             qps=completed / uptime if uptime > 0 else 0.0,
             queue_depth=self._scheduler.queue_depth,
             batches_executed=self._scheduler.batches_executed,

@@ -1,47 +1,66 @@
-"""A multiplexed, backpressured socket transport for cross-process clients.
+"""A multiplexed, credit-flow-controlled socket transport for remote clients.
 
 Framing: every frame is a 1-byte kind, a 4-byte big-endian payload length,
-then that many payload bytes.  Two kinds exist:
+then that many payload bytes.  The kinds:
 
 * ``KIND_JSON`` (0) — a UTF-8 JSON message.  Every request carries a
   client-chosen ``"id"`` tag, and every response echoes the id of the request
   it answers, so one connection multiplexes any number of in-flight requests
-  (concurrent scans included) instead of the one-request-per-connection
-  protocol this transport replaces.
+  (concurrent scans included).
 * ``KIND_CHUNK`` (1) — one streamed scan chunk: a 4-byte header length, a
   JSON header (query id, SOT index, per-region geometry/shape/dtype), then
-  the regions' raw pixel bytes concatenated.  Pixels ride as length-prefixed
-  raw bytes — not JSON+base64 — so the wire cost of a chunk is its pixel
-  bytes plus a small header.
+  the regions' raw pixel bytes concatenated.
+* ``KIND_CREDIT`` (2) — client → server: grant ``n`` more chunk credits to
+  query ``qid`` (see *flow control* below).
+* ``KIND_CANCEL`` (3) — client → server: abandon query ``qid``.  The server
+  fails that stream, releases its pump thread, and the scheduler skips the
+  scan's remaining per-SOT decode work — an abandoned scan stops costing
+  runner time within roughly one GOP instead of running to completion for
+  nobody.
+* ``KIND_SHM_CHUNK`` (4) — like ``KIND_CHUNK``, but the pixel bytes live in
+  the negotiated shared-memory ring; the frame carries only the ring offset,
+  the byte count, and the JSON header.
+* ``KIND_SHM_ACK`` (5) — client → server: the client has copied a
+  shared-memory chunk out of the ring; the server may recycle its slot.
+
+**Flow control (per stream, not per connection).**  Each scan request grants
+the server an initial budget of chunk *credits* (the client's
+``stream_buffer_chunks``); every chunk sent spends one, and the client
+returns a credit as its consumer drains each chunk.  A stream out of credits
+suspends *only its own pump thread* — the connection's writer and every
+other stream keep full throughput.  This is what fixes the head-of-line
+blocking of the previous protocol, where one slow consumer filled its
+bounded client-side queue, stalled the shared demultiplexing reader, and —
+through TCP backpressure and the shared outbox — froze every stream on the
+connection.  Client-side queues are now unbounded but *credit-bounded*: the
+demux reader never blocks, because the server can never have more than a
+stream's credit budget in flight.  (Server-side memory stays bounded by the
+scheduler's own ``service_stream_buffer_chunks`` stream buffers — credits
+bound the wire, stream buffers bound the producer.)
+
+**Shared-memory pixel path.**  A same-host client may request, at the hello
+handshake, that pixel payloads bypass the socket: the server (when serving
+through :class:`ShmTransport`, or a :class:`SocketTransport` given
+``shm_ring_bytes``) creates a per-connection ``multiprocessing.shared_memory``
+ring and returns its descriptor; chunk pixels are then written into the ring
+(one memcpy) and only a small descriptor frame crosses the socket — the
+idiom of xpra's mmap transport, which moves pixels through a shared buffer
+and sends offsets on the wire.  Ring slots recycle on ``KIND_SHM_ACK``,
+sent by the client's reader the moment it has copied a chunk out, so ring
+occupancy tracks wire latency, not consumer speed.  Every fallback is clean:
+a server without a ring answers the hello with ``"shm": null``, a client
+that fails to attach says so and is served over the socket, and a chunk that
+does not fit the ring's free space rides the socket as a plain
+``KIND_CHUNK``.
+
+The hello handshake (``{"op": "hello", "version": ..., "shm": ...}``) also
+pins :data:`PROTOCOL_VERSION`; a version-skewed peer is refused with a clear
+error instead of desynchronising the byte stream.  Clients that skip the
+hello (version-1 style raw callers) still get JSON ops and socket chunks.
 
 A connection that dies *inside* a frame raises
-:class:`~repro.errors.TransportError` (the old protocol returned ``None``,
-silently conflating a truncated frame with a clean end of stream); only an
-EOF landing exactly on a frame boundary reads as clean.
-
-Backpressure end to end: the server writes through a per-connection writer
-thread with a bounded outbox, the client demultiplexes into bounded
-per-stream queues, and the service layer's own
-:class:`~repro.service.scheduler.ResultStream` buffers are bounded — so a
-client that stops reading propagates, via TCP flow control, all the way back
-to the batch runner producing its chunks, which suspends instead of letting
-the server buffer without limit.
-
-Requests (JSON frames; ``"id"`` is any integer unique among the
-connection's in-flight requests):
-
-* ``{"op": "scan", "id": ..., "video": ..., "labels": [...],
-  "frame_start": null|int, "frame_stop": null|int}`` — streams back
-  ``KIND_CHUNK`` frames (one per SOT) followed by one
-  ``{"type": "done", "id": ...}`` JSON frame with the scan's accounting.
-* ``{"op": "add_metadata", "id": ..., "video": ..., "frame": ...,
-  "label": ..., "x1": ..., "y1": ..., "x2": ..., "y2": ...}`` —
-  ``{"type": "ok", "id": ...}``.
-* ``{"op": "stats", "id": ...}`` — ``{"type": "stats", "id": ...,
-  ...server stats...}``.
-
-Errors come back as ``{"type": "error", "id": ..., "message": ...}`` and
-leave the connection usable; errors of one query never disturb the
+:class:`~repro.errors.TransportError`; only an EOF landing exactly on a
+frame boundary reads as clean.  Errors of one query never disturb the
 connection's other streams.
 """
 
@@ -52,38 +71,77 @@ import queue
 import socket
 import struct
 import threading
+import warnings
+from collections import deque
 from typing import Iterator
 
 import numpy as np
 
 from ..core.predicates import TemporalPredicate
 from ..core.scan import ScanRegion, ScanResult
-from ..errors import ServiceError, TransportError
+from ..errors import ProtocolError, ServiceError, StreamCancelledError, TransportError
 from ..geometry import Rectangle
 from ..video.codec import DecodeStats
 
 __all__ = [
+    "KIND_CANCEL",
     "KIND_CHUNK",
+    "KIND_CREDIT",
     "KIND_JSON",
+    "KIND_SHM_ACK",
+    "KIND_SHM_CHUNK",
+    "PROTOCOL_VERSION",
     "RemoteScanStream",
     "RemoteTasmClient",
+    "ShmTransport",
     "SocketTransport",
 ]
 
+#: Bumped by the credit/cancel/shm rework: version 1 was the plain
+#: multiplexed protocol with TCP-level backpressure only.
+PROTOCOL_VERSION = 2
+
 _FRAME_HEADER = struct.Struct(">BI")
 _CHUNK_HEADER = struct.Struct(">I")
+_CREDIT_FRAME = struct.Struct(">II")  # query id, credits granted
+_CANCEL_FRAME = struct.Struct(">I")  # query id
+_SHM_CHUNK_HEADER = struct.Struct(">QI")  # ring offset, pixel byte count
+_SHM_ACK_FRAME = struct.Struct(">Q")  # ring offset being released
 
 KIND_JSON = 0
 KIND_CHUNK = 1
+KIND_CREDIT = 2
+KIND_CANCEL = 3
+KIND_SHM_CHUNK = 4
+KIND_SHM_ACK = 5
 
-#: Outbox / per-stream queue bound used when the configured bound is 0
-#: (unbounded streams still should not let one connection queue frames
-#: without limit — memory, not correctness, is at stake here).
+#: Outbox bound used when the configured bound is 0 (unbounded streams still
+#: should not let one connection queue frames without limit — memory, not
+#: correctness, is at stake here).
 _DEFAULT_WIRE_BUFFER = 64
 
+#: Hosts a client treats as same-host when auto-deciding whether to request
+#: the shared-memory pixel path.
+_LOOPBACK_HOSTS = ("127.0.0.1", "::1", "localhost")
 
-class _ConnectionClosed(Exception):
-    """Internal: the peer is gone; stop producing frames for it."""
+
+def _disable_nagle(sock: socket.socket) -> None:
+    """Small control frames (credits, cancels, shm descriptors and acks) must
+    not sit in Nagle's buffer behind a quiet wire — with the pixel bytes out
+    of band in shared memory, coalescing saves nothing and costs a delayed-ACK
+    round trip per chunk."""
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass  # not a TCP socket (tests drive pipes/unix sockets through this)
+
+
+class _ConnectionClosed(TransportError):
+    """Internal: the peer is gone; the frame was not (and will not be) sent."""
+
+
+class _ScanCancelled(Exception):
+    """Internal: the client cancelled this scan; stop pumping, reply nothing."""
 
 
 # ----------------------------------------------------------------------
@@ -153,10 +211,15 @@ def recv_message(sock: socket.socket) -> dict | None:
 # ----------------------------------------------------------------------
 # Chunk (de)serialisation — the binary pixel path
 # ----------------------------------------------------------------------
-def encode_chunk_payload(query_id: int, sot_index: int, regions) -> bytes:
-    """Serialise one stream chunk: JSON header + concatenated raw pixels."""
+def chunk_parts(query_id: int, sot_index: int, regions) -> tuple[bytes, list[bytes], int]:
+    """One chunk split for the wire: JSON header, pixel blobs, total bytes.
+
+    Shared by the socket path (header + blobs concatenated into one frame)
+    and the shared-memory path (blobs into the ring, header onto the wire).
+    """
     metas = []
-    blobs = []
+    blobs: list[bytes] = []
+    total = 0
     for region in regions:
         pixels = np.ascontiguousarray(region.pixels)
         blob = pixels.tobytes()
@@ -176,11 +239,38 @@ def encode_chunk_payload(query_id: int, sot_index: int, regions) -> bytes:
             }
         )
         blobs.append(blob)
+        total += len(blob)
     header = json.dumps(
         {"id": query_id, "sot_index": sot_index, "regions": metas},
         separators=(",", ":"),
     ).encode("utf-8")
+    return header, blobs, total
+
+
+def encode_chunk_payload(query_id: int, sot_index: int, regions) -> bytes:
+    """Serialise one stream chunk: JSON header + concatenated raw pixels."""
+    header, blobs, _ = chunk_parts(query_id, sot_index, regions)
     return _CHUNK_HEADER.pack(len(header)) + header + b"".join(blobs)
+
+
+def _regions_from_metas(metas, pixels_for) -> list[ScanRegion]:
+    """Build ScanRegions from chunk metadata; ``pixels_for(meta, offset)``
+    supplies each region's (writable) pixel array."""
+    regions: list[ScanRegion] = []
+    offset = 0
+    for meta in metas:
+        pixels = pixels_for(meta, offset)
+        offset += meta["nbytes"]
+        x1, y1, x2, y2 = meta["region"]
+        regions.append(
+            ScanRegion(
+                frame_index=meta["frame_index"],
+                region=Rectangle(x1, y1, x2, y2),
+                pixels=pixels,
+                label=meta["label"],
+            )
+        )
+    return regions
 
 
 def decode_chunk_payload(payload: bytearray) -> tuple[dict, list[ScanRegion]]:
@@ -196,26 +286,215 @@ def decode_chunk_payload(payload: bytearray) -> tuple[dict, list[ScanRegion]]:
     body_start = _CHUNK_HEADER.size + header_length
     header = json.loads(bytes(payload[_CHUNK_HEADER.size : body_start]).decode("utf-8"))
     view = memoryview(payload)
-    regions: list[ScanRegion] = []
-    offset = body_start
-    for meta in header["regions"]:
-        nbytes = meta["nbytes"]
+
+    def pixels_for(meta, offset):
+        start = body_start + offset
         pixels = np.frombuffer(
-            view[offset : offset + nbytes], dtype=np.dtype(meta["dtype"])
+            view[start : start + meta["nbytes"]], dtype=np.dtype(meta["dtype"])
         ).reshape(meta["shape"])
         if not pixels.flags.writeable:
             pixels = pixels.copy()
-        offset += nbytes
-        x1, y1, x2, y2 = meta["region"]
-        regions.append(
-            ScanRegion(
-                frame_index=meta["frame_index"],
-                region=Rectangle(x1, y1, x2, y2),
-                pixels=pixels,
-                label=meta["label"],
+        return pixels
+
+    return header, _regions_from_metas(header["regions"], pixels_for)
+
+
+def decode_shm_chunk_payload(
+    payload: bytearray, ring_buffer
+) -> tuple[int, dict, list[ScanRegion]]:
+    """Parse one shared-memory chunk descriptor; pixels copied out of the ring.
+
+    Returns ``(ring_offset, header, regions)`` — the caller must ack
+    ``ring_offset`` so the server can recycle the slot.  Unlike the socket
+    path, the pixels *must* be copied: the ring memory is reused as soon as
+    the ack lands.
+    """
+    ring_offset, _total = _SHM_CHUNK_HEADER.unpack_from(payload, 0)
+    header_at = _SHM_CHUNK_HEADER.size
+    (header_length,) = _CHUNK_HEADER.unpack_from(payload, header_at)
+    body_start = header_at + _CHUNK_HEADER.size
+    header = json.loads(
+        bytes(payload[body_start : body_start + header_length]).decode("utf-8")
+    )
+
+    def pixels_for(meta, offset):
+        start = ring_offset + offset
+        return (
+            np.frombuffer(
+                ring_buffer[start : start + meta["nbytes"]],
+                dtype=np.dtype(meta["dtype"]),
             )
+            .reshape(meta["shape"])
+            .copy()
         )
-    return header, regions
+
+    return ring_offset, header, _regions_from_metas(header["regions"], pixels_for)
+
+
+# ----------------------------------------------------------------------
+# The shared-memory pixel ring (server side)
+# ----------------------------------------------------------------------
+class _ShmRing:
+    """A per-connection ring of pixel payloads in shared memory.
+
+    The server allocates contiguous slots at the head (padding over the wrap
+    so a payload is never split); the client acks each slot after copying it
+    out, and the tail advances over the acked prefix *in allocation order* —
+    so an ack arriving out of order (pumps enqueue descriptors in a different
+    order than they allocated) can never free memory ahead of an unread slot.
+    """
+
+    def __init__(self, size: int):
+        from multiprocessing import shared_memory
+
+        self._segment = shared_memory.SharedMemory(create=True, size=size)
+        self.size = size
+        self.name = self._segment.name
+        _LOCAL_RING_NAMES.add(self.name)
+        self._lock = threading.Lock()
+        self._head = 0  # absolute byte counters; ring position is counter % size
+        self._tail = 0
+        self._outstanding: deque[tuple[int, int]] = deque()  # (offset, padded size)
+        self._freed: set[int] = set()
+        self._dead = False
+
+    @classmethod
+    def try_create(cls, size: int) -> "_ShmRing | None":
+        """A ring, or None when shared memory is unavailable on this host."""
+        if size <= 0:
+            return None
+        try:
+            return cls(size)
+        except Exception:  # noqa: BLE001 — any failure means "no shm offered"
+            return None
+
+    def try_write(self, blobs: list[bytes], total: int) -> int | None:
+        """Copy ``blobs`` into a contiguous slot; its ring offset, or None
+        when the free space cannot hold it (the caller falls back to the
+        socket path — exhaustion is backpressure, not an error)."""
+        if total <= 0 or total > self.size:
+            return None
+        with self._lock:
+            if self._dead:
+                return None
+            start = self._head % self.size
+            pad = 0
+            if start + total > self.size:
+                pad = self.size - start  # skip the tail sliver; stay contiguous
+                start = 0
+            if (self._head + pad + total) - self._tail > self.size:
+                return None
+            self._head += pad + total
+            view = self._segment.buf
+            offset = start
+            for blob in blobs:
+                view[offset : offset + len(blob)] = blob
+                offset += len(blob)
+            self._outstanding.append((start, pad + total))
+            return start
+
+    def ack(self, offset: int) -> None:
+        """The client copied the chunk at ``offset`` out; recycle its slot."""
+        with self._lock:
+            if self._dead:
+                return
+            self._freed.add(offset)
+            while self._outstanding and self._outstanding[0][0] in self._freed:
+                start, size = self._outstanding.popleft()
+                self._freed.discard(start)
+                self._tail += size
+
+    @property
+    def outstanding_chunks(self) -> int:
+        with self._lock:
+            return len(self._outstanding)
+
+    def destroy(self) -> None:
+        with self._lock:
+            self._dead = True
+            try:
+                self._segment.close()
+            except Exception:  # noqa: BLE001 — teardown must not raise
+                pass
+        try:
+            self._segment.unlink()
+        except Exception:  # noqa: BLE001
+            pass
+        _LOCAL_RING_NAMES.discard(self.name)
+
+
+#: Ring names this process created.  Attaching to one's own segment (client
+#: and server in one process, the common test/bench topology) must not
+#: unregister it from the resource tracker — the creator's unlink does, and
+#: a second unregister makes the tracker spew KeyErrors at exit.
+_LOCAL_RING_NAMES: set[str] = set()
+
+
+def _attach_shm(name: str):
+    """Attach to a server-created segment (client side).
+
+    Python < 3.13 registers attached segments with the resource tracker as if
+    this process owned them, which makes the tracker unlink live segments at
+    exit (bpo-39959); unregister to leave cleanup with the creating server.
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    if segment.name not in _LOCAL_RING_NAMES:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # noqa: BLE001 — tracking quirks must not break attach
+            pass
+    return segment
+
+
+# ----------------------------------------------------------------------
+# The bounded outbox (server side)
+# ----------------------------------------------------------------------
+class _Outbox:
+    """A bounded frame queue between producer threads and the writer.
+
+    Unlike the polling ``queue.Queue`` loop it replaces, closing wakes every
+    blocked producer *immediately* and makes its ``put`` raise
+    :class:`TransportError` — a producer never spins against a dead
+    connection, and a frame is never silently dropped (an un-sent frame
+    raises).  The writer drains whatever was accepted before the close.
+    """
+
+    def __init__(self, limit: int):
+        self._frames: deque = deque()
+        self._cond = threading.Condition()
+        self._limit = max(1, limit)
+        self._closed = False
+
+    def put(self, frame) -> None:
+        with self._cond:
+            while len(self._frames) >= self._limit and not self._closed:
+                self._cond.wait()
+            if self._closed:
+                raise _ConnectionClosed(
+                    "connection closed; the frame was not sent"
+                )
+            self._frames.append(frame)
+            self._cond.notify_all()
+
+    def get(self):
+        """The next frame, or None once closed and drained."""
+        with self._cond:
+            while not self._frames and not self._closed:
+                self._cond.wait()
+            if self._frames:
+                frame = self._frames.popleft()
+                self._cond.notify_all()
+                return frame
+            return None
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
 
 
 # ----------------------------------------------------------------------
@@ -226,15 +505,24 @@ class SocketTransport:
 
     ``port=0`` binds an ephemeral port; read :attr:`address` after
     construction.  Each connection runs a reader thread (demultiplexing
-    requests), a writer thread (serialising responses through a bounded
-    outbox), and one pump thread per in-flight scan — so a single connection
-    carries any number of concurrent scans, which the server's batching
-    window coalesces exactly as it does queries from separate connections.
-    Each connection is one admission-control client: its scans share one
-    round-robin slot per batch.
+    requests, credit grants, cancels, and shm acks), a writer thread
+    (serialising responses through a bounded outbox), and one pump thread per
+    in-flight scan — so a single connection carries any number of concurrent
+    scans, each with its own credit window, and a scan whose consumer stalls
+    suspends only its own pump.  Each connection is one admission-control
+    client: its scans share one round-robin slot per batch.
+
+    ``shm_ring_bytes`` > 0 lets connections negotiate the shared-memory pixel
+    path (see :class:`ShmTransport`, which defaults it from the config).
     """
 
-    def __init__(self, server, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shm_ring_bytes: int = 0,
+    ):
         self._server = server
         self._listener = socket.create_server((host, port))
         # A blocked accept() is not reliably interrupted by close() on every
@@ -245,6 +533,7 @@ class SocketTransport:
         self._connections: set[_Connection] = set()
         self._connections_lock = threading.Lock()
         self._running = False
+        self._shm_ring_bytes = max(0, shm_ring_bytes)
         buffer = server.tasm.config.service_stream_buffer_chunks
         self._outbox_frames = buffer if buffer > 0 else _DEFAULT_WIRE_BUFFER
 
@@ -286,7 +575,10 @@ class SocketTransport:
             except OSError:
                 return  # listener closed
             sock.settimeout(None)
-            connection = _Connection(self._server, sock, self._outbox_frames)
+            _disable_nagle(sock)
+            connection = _Connection(
+                self._server, sock, self._outbox_frames, self._shm_ring_bytes
+            )
             with self._connections_lock:
                 self._connections.add(connection)
             threading.Thread(
@@ -305,16 +597,48 @@ class SocketTransport:
             connection.close()
 
 
+class ShmTransport(SocketTransport):
+    """A :class:`SocketTransport` that offers the shared-memory pixel path.
+
+    Same wire protocol, same address; the only difference is that a
+    connection whose hello requests shared memory gets a per-connection
+    pixel ring (``TasmConfig.service_shm_ring_bytes`` unless overridden).
+    Cross-host clients, clients that never ask, and clients whose attach
+    fails are served over the socket exactly as before — the ring is an
+    optimisation negotiated per connection, never a requirement.
+    """
+
+    def __init__(
+        self,
+        server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shm_ring_bytes: int | None = None,
+    ):
+        if shm_ring_bytes is None:
+            shm_ring_bytes = server.tasm.config.service_shm_ring_bytes
+        super().__init__(server, host=host, port=port, shm_ring_bytes=shm_ring_bytes)
+
+
 class _Connection:
     """One accepted socket: request demux, response mux, per-scan pumps."""
 
-    def __init__(self, server, sock: socket.socket, outbox_frames: int):
+    def __init__(self, server, sock: socket.socket, outbox_frames: int, shm_ring_bytes: int = 0):
         self._server = server
         self._sock = sock
-        self._outbox: queue.Queue = queue.Queue(maxsize=outbox_frames)
+        self._outbox = _Outbox(outbox_frames)
         self._closing = threading.Event()
         self._scans_lock = threading.Lock()
         self._scans: dict[int, object] = {}  # query id -> ResultStream
+        # Per-stream flow control: chunk credits (None = unbounded) and the
+        # set of cancelled query ids, guarded by one condition so a pump out
+        # of credits parks here — and only here — until the client grants
+        # more, cancels, or the connection dies.
+        self._flow = threading.Condition()
+        self._credits: dict[int, int | None] = {}
+        self._cancelled: set[int] = set()
+        self._shm_ring_bytes = shm_ring_bytes
+        self._shm_ring: _ShmRing | None = None
         self._writer = threading.Thread(
             target=self._write_loop, name="tasm-socket-writer", daemon=True
         )
@@ -326,22 +650,41 @@ class _Connection:
     def serve(self) -> None:
         try:
             while not self._closing.is_set():
-                message = recv_message(self._sock)
-                if message is None:
+                frame = recv_frame(self._sock)
+                if frame is None:
                     return
-                try:
-                    self._handle(message)
-                except _ConnectionClosed:
+                kind, payload = frame
+                if kind == KIND_JSON:
+                    message = json.loads(bytes(payload).decode("utf-8"))
+                    try:
+                        self._handle(message)
+                    except _ConnectionClosed:
+                        return
+                    except Exception as error:  # noqa: BLE001 — report, keep serving
+                        self._reply(
+                            {
+                                "type": "error",
+                                "id": message.get("id"),
+                                "message": str(error),
+                            }
+                        )
+                elif kind == KIND_CREDIT:
+                    query_id, granted = _CREDIT_FRAME.unpack(payload)
+                    self._grant_credit(query_id, granted)
+                elif kind == KIND_CANCEL:
+                    (query_id,) = _CANCEL_FRAME.unpack(payload)
+                    self._cancel_scan(query_id)
+                elif kind == KIND_SHM_ACK:
+                    (offset,) = _SHM_ACK_FRAME.unpack(payload)
+                    if self._shm_ring is not None:
+                        self._shm_ring.ack(offset)
+                else:
+                    # An unknown kind means the byte stream is not what we
+                    # think it is; there is no safe way to keep parsing.
                     return
-                except Exception as error:  # noqa: BLE001 — report, keep serving
-                    self._reply(
-                        {
-                            "type": "error",
-                            "id": message.get("id"),
-                            "message": str(error),
-                        }
-                    )
-        except (TransportError, ConnectionError, OSError):
+        except (TransportError, ConnectionError, OSError, struct.error):
+            return
+        except Exception:  # noqa: BLE001 — malformed input must not hang the peer
             return
         finally:
             self.close()
@@ -351,6 +694,16 @@ class _Connection:
         query_id = message.get("id")
         if op == "scan":
             self._start_scan(query_id, message)
+        elif op == "hello":
+            self._handle_hello(query_id, message)
+        elif op == "shm_failed":
+            # The client could not attach; tear the ring down and serve
+            # every chunk over the socket.  Arrives before any scan request
+            # (the client resolves attachment during its handshake), so no
+            # pump can have written into the ring yet.
+            ring, self._shm_ring = self._shm_ring, None
+            if ring is not None:
+                ring.destroy()
         elif op == "add_metadata":
             self._server.add_metadata(
                 message["video"],
@@ -368,6 +721,35 @@ class _Connection:
         else:
             self._reply({"type": "error", "id": query_id, "message": f"unknown op {op!r}"})
 
+    def _handle_hello(self, query_id: int, message: dict) -> None:
+        version = message.get("version")
+        if version != PROTOCOL_VERSION:
+            self._reply(
+                {
+                    "type": "error",
+                    "id": query_id,
+                    "message": (
+                        f"protocol version {version!r} not supported; "
+                        f"this server speaks version {PROTOCOL_VERSION}"
+                    ),
+                }
+            )
+            return
+        descriptor = None
+        if message.get("shm") and self._shm_ring is None:
+            ring = _ShmRing.try_create(self._shm_ring_bytes)
+            if ring is not None:
+                self._shm_ring = ring
+                descriptor = {"name": ring.name, "size": ring.size}
+        self._reply(
+            {
+                "type": "hello",
+                "id": query_id,
+                "version": PROTOCOL_VERSION,
+                "shm": descriptor,
+            }
+        )
+
     def _start_scan(self, query_id: int, message: dict) -> None:
         with self._scans_lock:
             if query_id in self._scans:
@@ -383,15 +765,38 @@ class _Connection:
             labels if len(labels) != 1 else labels[0],
             temporal,
         )
+        credits = int(message.get("credits", 0) or 0)
         stream = self._server.submit(query, client=self)
         with self._scans_lock:
             self._scans[query_id] = stream
+        with self._flow:
+            self._credits[query_id] = credits if credits > 0 else None
         threading.Thread(
             target=self._pump_scan,
             args=(query_id, stream),
             name="tasm-socket-pump",
             daemon=True,
         ).start()
+
+    def _grant_credit(self, query_id: int, granted: int) -> None:
+        with self._flow:
+            current = self._credits.get(query_id)
+            if current is not None:
+                self._credits[query_id] = current + granted
+                self._flow.notify_all()
+
+    def _cancel_scan(self, query_id: int) -> None:
+        with self._scans_lock:
+            stream = self._scans.get(query_id)
+        if stream is None:
+            return  # already finished; nothing to cancel
+        with self._flow:
+            self._cancelled.add(query_id)
+            self._flow.notify_all()  # wake a pump parked on credits
+        # Terminal-fails the scheduler stream: the batch runner skips the
+        # scan's remaining per-SOT work and a pump blocked on the stream's
+        # buffer or iterator is released.
+        stream.close()
 
     # ------------------------------------------------------------------
     # Pump threads (one per in-flight scan)
@@ -400,13 +805,16 @@ class _Connection:
         try:
             try:
                 for chunk in stream:
-                    self._enqueue(
-                        KIND_CHUNK,
-                        encode_chunk_payload(query_id, chunk.sot_index, chunk.regions),
-                    )
+                    self._await_credit(query_id)
+                    self._send_chunk(query_id, chunk)
                 result = stream.result()
+            except _ScanCancelled:
+                return  # the client walked away; it awaits no reply
             except ServiceError as error:
-                self._reply({"type": "error", "id": query_id, "message": str(error)})
+                if not self._is_cancelled(query_id):
+                    self._reply(
+                        {"type": "error", "id": query_id, "message": str(error)}
+                    )
                 return
             self._reply(
                 {
@@ -431,8 +839,57 @@ class _Connection:
             # instead of filling memory for a dead peer.
             stream._fail(ServiceError("client disconnected mid-stream"))
         finally:
-            with self._scans_lock:
-                self._scans.pop(query_id, None)
+            self._forget_scan(query_id)
+
+    def _await_credit(self, query_id: int) -> None:
+        """Park this stream's pump until the client grants a chunk credit.
+
+        Only this stream suspends: the writer, the other pumps, and the
+        reader keep running, which is the whole point of per-stream credits.
+        """
+        with self._flow:
+            while True:
+                if self._closing.is_set():
+                    raise _ConnectionClosed("connection closed while awaiting credit")
+                if query_id in self._cancelled:
+                    raise _ScanCancelled()
+                credit = self._credits.get(query_id)
+                if credit is None:  # unbounded stream — never parks
+                    return
+                if credit > 0:
+                    self._credits[query_id] = credit - 1
+                    return
+                self._flow.wait(1.0)
+
+    def _is_cancelled(self, query_id: int) -> bool:
+        with self._flow:
+            return query_id in self._cancelled
+
+    def _send_chunk(self, query_id: int, chunk) -> None:
+        """One chunk to the client: through the shm ring when it fits, else
+        the socket (ring exhaustion falls back instead of blocking)."""
+        header, blobs, total = chunk_parts(query_id, chunk.sot_index, chunk.regions)
+        ring = self._shm_ring
+        if ring is not None and total > 0:
+            offset = ring.try_write(blobs, total)
+            if offset is not None:
+                self._enqueue(
+                    KIND_SHM_CHUNK,
+                    _SHM_CHUNK_HEADER.pack(offset, total)
+                    + _CHUNK_HEADER.pack(len(header))
+                    + header,
+                )
+                return
+        self._enqueue(
+            KIND_CHUNK, _CHUNK_HEADER.pack(len(header)) + header + b"".join(blobs)
+        )
+
+    def _forget_scan(self, query_id: int) -> None:
+        with self._scans_lock:
+            self._scans.pop(query_id, None)
+        with self._flow:
+            self._credits.pop(query_id, None)
+            self._cancelled.discard(query_id)
 
     # ------------------------------------------------------------------
     # Writer side
@@ -446,34 +903,24 @@ class _Connection:
         """Queue one encoded frame for the writer, honouring the bound.
 
         Blocks while the outbox is full (the writer is waiting on a slow
-        socket) — this is where a slow client suspends the server-side pumps
-        — and raises :class:`_ConnectionClosed` once the connection dies.
-        Header and payload travel as a pair so a multi-megabyte pixel payload
-        is never copied again just to glue five header bytes onto it.
+        socket) and raises :class:`TransportError` the moment the connection
+        dies — no polling, no silent drops.  Header and payload travel as a
+        pair so a multi-megabyte pixel payload is never copied again just to
+        glue five header bytes onto it.
         """
-        frame = (_FRAME_HEADER.pack(kind, len(payload)), payload)
-        while True:
-            if self._closing.is_set():
-                raise _ConnectionClosed()
-            try:
-                self._outbox.put(frame, timeout=0.1)
-                return
-            except queue.Full:
-                continue
+        self._outbox.put((_FRAME_HEADER.pack(kind, len(payload)), payload))
 
     def _write_loop(self) -> None:
         while True:
-            try:
-                header, payload = self._outbox.get(timeout=0.2)
-            except queue.Empty:
-                if self._closing.is_set():
-                    return
-                continue
+            frame = self._outbox.get()
+            if frame is None:
+                return
+            header, payload = frame
             try:
                 self._sock.sendall(header)
                 self._sock.sendall(payload)
             except OSError:
-                self._closing.set()
+                self.close()
                 return
 
     # ------------------------------------------------------------------
@@ -481,11 +928,17 @@ class _Connection:
     # ------------------------------------------------------------------
     def close(self) -> None:
         self._closing.set()
+        self._outbox.close()
+        with self._flow:
+            self._flow.notify_all()  # release pumps parked on credits
         with self._scans_lock:
             orphaned = list(self._scans.values())
             self._scans.clear()
         for stream in orphaned:
             stream._fail(ServiceError("connection closed"))
+        ring, self._shm_ring = self._shm_ring, None
+        if ring is not None:
+            ring.destroy()
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
@@ -501,19 +954,23 @@ class RemoteScanStream:
 
     Iterate for ``(sot_index, [ScanRegion, ...])`` chunks as the server
     streams them; :meth:`result` consumes the remainder and returns the
-    assembled :class:`ScanResult`.  Chunks buffer in a bounded queue the
-    connection's reader thread fills: a consumer that falls behind eventually
-    blocks the reader, TCP flow control stalls the server's writer, and the
-    producing batch runner suspends — backpressure instead of unbounded
-    buffering.  A stream that failed keeps raising :class:`ServiceError` on
-    every later iteration or ``result()`` call.  The owning client's
-    ``timeout`` bounds the wait for each event: a server that stops sending
-    mid-stream raises instead of hanging the consumer forever.
+    assembled :class:`ScanResult`.  The stream's credit budget (the client's
+    ``stream_buffer_chunks``) bounds how many undelivered chunks the server
+    may have in flight: each chunk the consumer drains returns one credit, so
+    a consumer that falls behind suspends *this stream's producer on the
+    server* — never the connection's shared reader, and never its other
+    streams.  :meth:`close` cancels the scan on the wire, so the server stops
+    decoding for it.  A stream that failed keeps raising
+    :class:`ServiceError` on every later iteration or ``result()`` call.  The
+    owning client's ``timeout`` bounds the wait for each event: a server that
+    stops sending mid-stream raises instead of hanging the consumer forever.
     """
 
-    def __init__(self, query_id: int, buffer_chunks: int, timeout: float | None):
+    def __init__(self, client: "RemoteTasmClient", query_id: int, credits: int, timeout: float | None):
+        self._client = client
         self.query_id = query_id
-        self._events: queue.Queue = queue.Queue(maxsize=max(0, buffer_chunks))
+        self._credits = credits  # 0 = unbounded (no credit flow)
+        self._events: queue.SimpleQueue = queue.SimpleQueue()
         self._timeout = timeout
         self._regions: list[ScanRegion] = []
         self._result: ScanResult | None = None
@@ -522,26 +979,30 @@ class RemoteScanStream:
 
     # Reader-thread side -------------------------------------------------
     def _deliver(self, event: tuple) -> None:
-        """Blocking delivery — the reader stalls on a full buffer."""
+        """Non-blocking delivery: the queue is unbounded, and bounded in
+        practice by the credits the server can spend."""
         self._events.put(event)
 
     def _fail_from_wire(self, error: BaseException) -> None:
-        """Terminal delivery that can never block the dying reader.
-
-        The stream cannot complete anymore, so buffered chunks are worthless;
-        drop them until the error fits.
-        """
-        while True:
-            try:
-                self._events.put_nowait(("error", error))
-                return
-            except queue.Full:
-                try:
-                    self._events.get_nowait()
-                except queue.Empty:
-                    pass
+        """Terminal delivery — never blocks the (possibly dying) reader."""
+        self._events.put(("error", error))
 
     # Consumer side ------------------------------------------------------
+    def close(self) -> None:
+        """Abandon the stream: cancel the scan on the wire.
+
+        The server fails the scan's stream, frees its pump thread, and skips
+        its remaining decode work; locally the stream turns terminal, so a
+        later ``result()`` raises instead of waiting.  Closing a stream whose
+        result already arrived is a no-op.
+        """
+        if self._finished and self._error is None:
+            return
+        if not self._client._forget_stream(self.query_id):
+            return  # already completed or failed at the wire level
+        self._client._send_cancel(self.query_id)
+        self._fail_from_wire(StreamCancelledError("stream closed by its consumer"))
+
     def __iter__(self) -> Iterator[tuple[int, list[ScanRegion]]]:
         if self._error is not None:
             raise ServiceError(f"scan failed: {self._error}") from self._error
@@ -555,6 +1016,10 @@ class RemoteScanStream:
             if kind == "chunk":
                 sot_index, regions = rest
                 self._regions.extend(regions)
+                if self._credits:
+                    # This chunk's buffer slot is free again: let the server
+                    # send the next one while the consumer works on this one.
+                    self._client._grant_credit(self.query_id, 1)
                 yield sot_index, regions
             elif kind == "done":
                 self._result = _assemble_result(rest[0], self._regions)
@@ -576,14 +1041,21 @@ class RemoteScanStream:
 class RemoteTasmClient:
     """Connects to a :class:`SocketTransport`; multiplexes over one socket.
 
+    Construction performs the hello handshake: the protocol version is
+    pinned (a mismatched server is refused with :class:`ProtocolError`), and
+    — when ``use_shm`` is true, or left None against a loopback address — the
+    shared-memory pixel path is negotiated, falling back cleanly to the
+    socket when the server offers no ring or the attach fails.
+
     Any number of requests may be in flight at once: each gets a fresh query
     id, and a background reader thread demultiplexes responses to the right
     :class:`RemoteScanStream` or blocking call.  The handle is thread-safe —
     threads of one process can share it, issuing concurrent scans over the
-    single connection.  ``stream_buffer_chunks`` bounds each stream's
-    client-side chunk buffer (0 = unbounded); note that one stream left
-    unconsumed while its buffer is full stalls the shared reader, and with it
-    the connection's other streams, until it is drained.
+    single connection.  ``stream_buffer_chunks`` is each stream's chunk
+    credit budget (0 = unbounded): the server never has more than that many
+    undelivered chunks in flight per stream, so one unconsumed stream parks
+    its own server-side pump and nothing else — the connection's reader and
+    its other streams keep full throughput.
     """
 
     def __init__(
@@ -591,9 +1063,10 @@ class RemoteTasmClient:
         address: tuple[str, int],
         timeout: float | None = 30.0,
         stream_buffer_chunks: int = 64,
+        use_shm: bool | None = None,
     ):
         self._sock = socket.create_connection(address, timeout=timeout)
-        self._sock.settimeout(None)  # the reader thread blocks; ops use _timeout
+        _disable_nagle(self._sock)
         self._timeout = timeout
         self._buffer_chunks = stream_buffer_chunks
         self._send_lock = threading.Lock()
@@ -602,23 +1075,103 @@ class RemoteTasmClient:
         self._streams: dict[int, RemoteScanStream] = {}
         self._replies: dict[int, queue.SimpleQueue] = {}
         self._closed = False
+        self._close_lock = threading.Lock()
+        self._shm = None
+        #: Chunks received through each data path (shared memory vs socket);
+        #: handy for verifying what the negotiation actually produced.
+        self.shm_chunks_received = 0
+        self.socket_chunks_received = 0
         #: Set by the reader when the wire dies; requests registered after
         #: the outstanding-failure sweep check it so they fail fast instead
         #: of waiting on a connection that will never answer.
         self._dead: BaseException | None = None
+        if use_shm is None:
+            use_shm = address[0] in _LOOPBACK_HOSTS
+        self._sock.settimeout(timeout)  # bound the handshake
+        self._handshake(bool(use_shm))
+        self._sock.settimeout(None)  # the reader thread blocks; ops use _timeout
         self._reader = threading.Thread(
             target=self._read_loop, name="tasm-client-reader", daemon=True
         )
         self._reader.start()
 
-    def close(self) -> None:
-        self._closed = True
+    def _handshake(self, want_shm: bool) -> None:
+        try:
+            send_message(
+                self._sock,
+                {
+                    "op": "hello",
+                    "id": 0,
+                    "version": PROTOCOL_VERSION,
+                    "shm": want_shm,
+                },
+            )
+            reply = recv_message(self._sock)
+        except TransportError:
+            self._sock.close()
+            raise
+        except OSError as error:
+            self._sock.close()
+            raise TransportError(f"handshake failed: {error}") from error
+        if reply is None:
+            self._sock.close()
+            raise TransportError("connection closed during handshake")
+        if reply.get("type") == "error":
+            self._sock.close()
+            raise ProtocolError(f"server refused the handshake: {reply.get('message')}")
+        if reply.get("type") != "hello" or reply.get("version") != PROTOCOL_VERSION:
+            self._sock.close()
+            raise ProtocolError(f"unexpected handshake reply: {reply}")
+        descriptor = reply.get("shm")
+        if descriptor:
+            try:
+                self._shm = _attach_shm(descriptor["name"])
+            except Exception:  # noqa: BLE001 — fall back to the socket path
+                self._shm = None
+                try:
+                    send_message(self._sock, {"op": "shm_failed", "id": 0})
+                except OSError:
+                    pass
+
+    @property
+    def shm_active(self) -> bool:
+        """True when pixel payloads arrive through shared memory."""
+        return self._shm is not None
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        with self._close_lock:
+            if self._closed:
+                return
+            # Cancel outstanding scans while the socket still works, so the
+            # server frees their pumps and decode work right away rather
+            # than discovering the disconnect when a write fails.
+            with self._table_lock:
+                outstanding = list(self._streams.keys())
+            for query_id in outstanding:
+                self._send_cancel(query_id)
+            self._closed = True
+        # Shut the socket down before joining: a reader blocked in recv on a
+        # wedged connection only wakes once the kernel aborts the transfer.
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
         self._sock.close()
-        self._reader.join(timeout=5.0)
+        self._reader.join(timeout=join_timeout)
+        if self._reader.is_alive():
+            warnings.warn(
+                f"RemoteTasmClient reader thread did not exit within "
+                f"{join_timeout} seconds; the connection's resources may "
+                f"outlive this handle",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            try:
+                shm.close()
+            except Exception:  # noqa: BLE001 — teardown must not raise
+                pass
 
     def __enter__(self) -> "RemoteTasmClient":
         return self
@@ -639,6 +1192,23 @@ class RemoteTasmClient:
                 kind, payload = frame
                 if kind == KIND_CHUNK:
                     header, regions = decode_chunk_payload(payload)
+                    self.socket_chunks_received += 1
+                    stream = self._stream_for(header.get("id"))
+                    if stream is not None:
+                        stream._deliver(("chunk", header["sot_index"], regions))
+                elif kind == KIND_SHM_CHUNK:
+                    if self._shm is None:
+                        raise TransportError(
+                            "server sent a shared-memory chunk on a connection "
+                            "without a negotiated ring"
+                        )
+                    offset, header, regions = decode_shm_chunk_payload(
+                        payload, self._shm.buf
+                    )
+                    # The pixels are copied out; release the ring slot even
+                    # if nobody waits on this stream anymore.
+                    self._send_frame(KIND_SHM_ACK, _SHM_ACK_FRAME.pack(offset))
+                    self.shm_chunks_received += 1
                     stream = self._stream_for(header.get("id"))
                     if stream is not None:
                         stream._deliver(("chunk", header["sot_index"], regions))
@@ -678,12 +1248,16 @@ class RemoteTasmClient:
             with self._table_lock:
                 self._replies.pop(query_id, None)
             reply.put(message)
-        # Responses for ids nobody waits on (e.g. a stream failed locally
+        # Responses for ids nobody waits on (e.g. a stream cancelled locally
         # already) are dropped — the protocol has no unsolicited frames.
 
     def _stream_for(self, query_id: int) -> RemoteScanStream | None:
         with self._table_lock:
             return self._streams.get(query_id)
+
+    def _forget_stream(self, query_id: int) -> bool:
+        with self._table_lock:
+            return self._streams.pop(query_id, None) is not None
 
     def _fail_outstanding(self, error: BaseException) -> None:
         with self._table_lock:
@@ -715,6 +1289,24 @@ class RemoteTasmClient:
         with self._send_lock:
             send_message(self._sock, message)
 
+    def _send_frame(self, kind: int, payload: bytes) -> None:
+        with self._send_lock:
+            send_frame(self._sock, kind, payload)
+
+    def _grant_credit(self, query_id: int, granted: int) -> None:
+        """Best-effort: a dead wire fails the stream through its own path."""
+        try:
+            self._send_frame(KIND_CREDIT, _CREDIT_FRAME.pack(query_id, granted))
+        except (OSError, ValueError):
+            pass
+
+    def _send_cancel(self, query_id: int) -> None:
+        """Best-effort: if the wire is gone the server cleans up on its own."""
+        try:
+            self._send_frame(KIND_CANCEL, _CANCEL_FRAME.pack(query_id))
+        except (OSError, ValueError):
+            pass
+
     def scan_streaming(
         self,
         video: str,
@@ -725,7 +1317,8 @@ class RemoteTasmClient:
         if isinstance(labels, str):
             labels = [labels]
         query_id = self._allocate_id()
-        stream = RemoteScanStream(query_id, self._buffer_chunks, self._timeout)
+        credits = max(0, self._buffer_chunks)
+        stream = RemoteScanStream(self, query_id, credits, self._timeout)
         with self._table_lock:
             self._streams[query_id] = stream
         try:
@@ -737,6 +1330,7 @@ class RemoteTasmClient:
                     "labels": labels,
                     "frame_start": frame_start,
                     "frame_stop": frame_stop,
+                    "credits": credits,
                 }
             )
         except BaseException:

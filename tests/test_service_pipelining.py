@@ -313,9 +313,10 @@ class TestBackpressure:
         assert_scan_results_identical(result, reference.scan(video.name, "car"))
 
     def test_slow_remote_consumer_stays_bounded_and_correct(self, config):
-        """Over the socket with 1-chunk buffers at every hop, a consumer that
-        dawdles between chunks never sees more than the bound queued
-        client-side, and the scan still completes byte-identically."""
+        """Over the socket at 1 chunk credit, a consumer that dawdles between
+        chunks never sees more than its credit budget of chunks queued
+        client-side (plus the terminal done-event, which shares the queue),
+        and the scan still completes byte-identically."""
         from repro.service import RemoteTasmClient, SocketTransport
 
         server, video = make_server(
@@ -330,8 +331,8 @@ class TestBackpressure:
                     remote = client.scan_streaming(video.name, "car")
                     chunks = []
                     for sot_index, regions in remote:
-                        assert remote._events.qsize() <= 1, (
-                            "client-side buffering exceeded its bound"
+                        assert remote._events.qsize() <= 2, (
+                            "client-side buffering exceeded the credit budget"
                         )
                         chunks.append((sot_index, regions))
                         time.sleep(0.05)  # a slow consumer
@@ -384,17 +385,41 @@ class TestConsumerAbandon:
 
 class TestClientTimeouts:
     def _silent_server(self):
-        """A listener that accepts, reads requests, and never answers."""
+        """A listener that accepts, answers the client's hello handshake (no
+        shared memory), then never answers anything else.  The accepted
+        connection arrives through the returned queue: the client constructor
+        blocks on the handshake, so accept-and-hello must run concurrently."""
+        import queue as queue_module
+
+        from repro.service.transport import send_message
+
         listener = socket.create_server(("127.0.0.1", 0))
-        return listener, listener.getsockname()[:2]
+        accepted: queue_module.Queue = queue_module.Queue()
+
+        def accept_and_hello():
+            conn, _ = listener.accept()
+            hello = recv_message(conn)
+            send_message(
+                conn,
+                {
+                    "type": "hello",
+                    "id": hello.get("id"),
+                    "version": hello["version"],
+                    "shm": None,
+                },
+            )
+            accepted.put(conn)
+
+        threading.Thread(target=accept_and_hello, daemon=True).start()
+        return listener, listener.getsockname()[:2], accepted
 
     def test_stream_read_times_out_instead_of_hanging(self):
         from repro.service import RemoteTasmClient
 
-        listener, address = self._silent_server()
+        listener, address, accepted = self._silent_server()
         try:
             client = RemoteTasmClient(address, timeout=0.3)
-            conn, _ = listener.accept()
+            conn = accepted.get(timeout=5)
             stream = client.scan_streaming("some-video", "car")
             recv_message(conn)  # swallow the request; answer nothing
             with pytest.raises(ServiceError):
@@ -410,10 +435,10 @@ class TestClientTimeouts:
         from repro.service import RemoteTasmClient
         from repro.service.transport import KIND_JSON, send_frame
 
-        listener, address = self._silent_server()
+        listener, address, accepted = self._silent_server()
         try:
             client = RemoteTasmClient(address, timeout=5.0)
-            conn, _ = listener.accept()
+            conn = accepted.get(timeout=5)
             stream = client.scan_streaming("some-video", "car")
             recv_message(conn)
             send_frame(conn, KIND_JSON, b"\xff\xfe this is not json")
