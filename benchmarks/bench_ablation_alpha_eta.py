@@ -23,7 +23,7 @@ from repro.core.policies import IncrementalRegretPolicy
 from repro.datasets import visual_road_scene
 from repro.workloads import WorkloadRunner, workload_3
 
-from _bench_utils import bench_config, print_section
+from _bench_utils import bench_config, emit_bench, print_section
 
 _ALPHAS = [0.4, 0.6, 0.8, 1.0]
 _ETAS = [0.0, 0.5, 1.0, 2.0, 4.0]
@@ -79,8 +79,10 @@ def test_ablation_alpha_and_eta(benchmark, ablation_results):
 
     print_section("Ablation: not-tiling threshold alpha (eta fixed at 1)")
     print(format_table(alpha_rows))
+    emit_bench("ablation_alpha_eta", "alpha_sweep", alpha_rows)
     print_section("Ablation: regret threshold eta (alpha fixed at 0.8)")
     print(format_table(eta_rows))
+    emit_bench("ablation_alpha_eta", "eta_sweep", eta_rows)
     print(f"\n(not tiled = {len(spec.workload)}; lower is better; paper defaults alpha=0.8, eta=1)")
 
     not_tiled = float(len(spec.workload))

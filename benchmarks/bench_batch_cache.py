@@ -27,7 +27,7 @@ from repro.analysis import format_table, prepare_tasm
 from repro.core.query import Query
 from repro.datasets import visual_road_scene
 
-from _bench_utils import bench_config, print_section
+from _bench_utils import bench_config, emit_bench, print_section
 
 #: Decoded bytes kept by the persistent-cache configuration (64 MiB).
 CACHE_BYTES = 64 * 1024 * 1024
@@ -126,6 +126,7 @@ def test_batched_execution_decodes_fewer_pixels(benchmark, comparison, config):
         f"({len(comparison['queries'])} repeated queries)"
     )
     print(format_table(rows))
+    emit_bench("batch_cache", "decoded_pixels", rows)
 
     # The batched path decodes strictly fewer pixels and actually hits.
     assert batch.pixels_decoded < sequential_pixels

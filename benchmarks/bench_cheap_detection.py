@@ -27,7 +27,7 @@ from repro.detection import (
     SimulatedYoloV3,
 )
 
-from _bench_utils import print_section
+from _bench_utils import emit_bench, print_section
 
 
 def _video():
@@ -82,6 +82,7 @@ def test_cheap_detection_layout_quality(benchmark, cheap_detection_rows, config)
 
     print_section("Section 5.2.4: query improvement from layouts built by cheap detection")
     print(format_table(cheap_detection_rows))
+    emit_bench("cheap_detection", "improvement", cheap_detection_rows)
     print("\n(paper: background subtraction ~-3%, tiny YOLO ~16%, "
           "full YOLO every 5 frames close to every-frame on sparse video)")
 

@@ -22,7 +22,7 @@ from repro.core.cost import fit_cost_model
 from repro.datasets import netflix_public_scene, visual_road_scene, xiph_scene
 from repro.tiles.partitioner import TileGranularity
 
-from _bench_utils import print_section
+from _bench_utils import emit_bench, print_section
 
 
 def _cases():
@@ -79,6 +79,7 @@ def test_cost_model_linear_fit(benchmark, decode_samples):
 
     print_section("Section 4.1: decode time vs (pixels, tiles) linear fit")
     print(format_table(details))
+    emit_bench("cost_model_fit", "linear_fit", details)
     print(
         f"\nfit over {len(samples)} measurements: "
         f"beta={fitted.beta:.3e} s/pixel, gamma={fitted.gamma:.3e} s/tile, "

@@ -28,7 +28,7 @@ from repro.analysis import (
 )
 from repro.datasets import netflix_public_scene, visual_road_scene, xiph_scene
 
-from _bench_utils import bench_config, print_section
+from _bench_utils import bench_config, emit_bench, print_section
 
 _UNIFORM_GRIDS = [(2, 2), (3, 3), (4, 4), (5, 5)]
 _PSNR_FRAMES = 20
@@ -99,6 +99,7 @@ def test_fig06_query_time_and_quality(benchmark, figure6_rows, config):
     print(format_table(figure6_rows, columns=[
         "video", "untiled_psnr_db", "uniform_psnr_db", "non_uniform_psnr_db",
     ]))
+    emit_bench("fig06_tiling_improvement", "figure6", figure6_rows)
 
     uniform = summarize_improvements([row["uniform_work_improvement_%"] for row in figure6_rows])
     non_uniform = summarize_improvements([row["non_uniform_work_improvement_%"] for row in figure6_rows])

@@ -22,7 +22,7 @@ from repro.analysis import (
 )
 from repro.datasets import visual_road_scene, xiph_scene
 
-from _bench_utils import print_section
+from _bench_utils import emit_bench, print_section
 
 _GRIDS = [(2, 2), (3, 3), (4, 4), (5, 5), (6, 8)]
 
@@ -79,6 +79,8 @@ def test_fig07_uniform_tile_count_sweep(benchmark, figure7_rows, config):
     ]
     print()
     print(format_table(summary, columns=["grid", "median", "q25", "q75", "iqr"]))
+    emit_bench("fig07_uniform_grids", "per_query", figure7_rows)
+    emit_bench("fig07_uniform_grids", "summary_by_grid", summary)
 
     # Shape: a mid-size grid beats 2x2; the largest grid does not beat the
     # best mid-size grid (per-tile overhead kicks in); decoded pixels shrink

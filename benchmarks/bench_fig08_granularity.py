@@ -28,7 +28,7 @@ from repro.analysis import (
 from repro.datasets import el_fuente_scene, visual_road_scene
 from repro.tiles.partitioner import TileGranularity
 
-from _bench_utils import print_section
+from _bench_utils import emit_bench, print_section
 
 
 def _videos():
@@ -88,6 +88,7 @@ def test_fig08_granularity_and_layout_objects(benchmark, figure8_rows, config):
         "density", "video", "query_object", "layout_objects", "granularity",
         "improvement_%", "work_improvement_%",
     ]))
+    emit_bench("fig08_granularity", "figure8", figure8_rows)
 
     def cell(density, category, granularity):
         return [

@@ -24,7 +24,7 @@ from repro.analysis import (
 from repro.config import CodecConfig, TasmConfig
 from repro.datasets import visual_road_scene
 
-from _bench_utils import BENCH_FRAME_RATE, print_section
+from _bench_utils import BENCH_FRAME_RATE, emit_bench, print_section
 
 _SOT_SECONDS = [1, 2, 3, 5]
 
@@ -80,6 +80,7 @@ def test_fig09_sot_duration_tradeoff(benchmark, figure9_rows):
 
     print_section("Figure 9: SOT duration vs query improvement and storage size")
     print(format_table(figure9_rows))
+    emit_bench("fig09_sot_duration", "figure9", figure9_rows)
     print("\n(paper: improvement falls from ~53% at 1s to ~36% at 5s; storage shrinks with longer SOTs)")
 
     storage = [row["storage_bytes"] for row in figure9_rows]

@@ -25,7 +25,7 @@ from repro.analysis import (
 from repro.datasets import el_fuente_scene, netflix_public_scene, visual_road_scene, xiph_scene
 from repro.tiles.partitioner import TileGranularity
 
-from _bench_utils import print_section
+from _bench_utils import emit_bench, print_section
 
 ALPHA = 0.8
 
@@ -79,6 +79,7 @@ def test_fig10_not_tiling_threshold(benchmark, figure10_points, config):
 
     print_section("Figure 10: pixel ratio P(L)/P(omega) vs measured improvement")
     print(format_table(figure10_points))
+    emit_bench("fig10_threshold", "figure10", figure10_points)
 
     accepted = [p for p in figure10_points if p["pixel_ratio"] < ALPHA]
     rejected = [p for p in figure10_points if p["pixel_ratio"] >= ALPHA]

@@ -37,7 +37,7 @@ from repro.workloads import (
     workload_6,
 )
 
-from _bench_utils import bench_config, print_section
+from _bench_utils import bench_config, emit_bench, print_section
 
 
 def _sparse_video():
@@ -99,6 +99,7 @@ def test_fig11_incremental_tiling_workloads(benchmark, figure11_results):
 
     print_section("Figure 11 / cumulative normalised decode + re-tiling cost at the final query")
     print(format_table(rows))
+    emit_bench("fig11_workloads", "final_costs", rows)
     print("\nCumulative series (every 20th query), Workload 3:")
     _, w3 = figure11_results["W3"]
     for name, result in w3.items():

@@ -19,7 +19,7 @@ from repro.datasets import el_fuente_scene
 from repro.detection import BackgroundSubtractionDetector, SimulatedYoloV3
 from repro.workloads import WorkloadRunner, workload_5
 
-from _bench_utils import bench_config, print_section
+from _bench_utils import bench_config, emit_bench, print_section
 
 
 def _video():
@@ -94,6 +94,7 @@ def test_fig12_upfront_detection_costs(benchmark, figure12_results):
     ]
     print_section("Figure 12: Workload 5 including initial detection + tiling costs")
     print(format_table(rows))
+    emit_bench("fig12_upfront_costs", "workload5", rows)
     print(f"\n({spec.query_count} queries; values normalised to untiled per-query cost)")
 
     totals = {name: result.total_normalized() for name, result in results.items()}

@@ -32,7 +32,7 @@ from repro.core.query import Query
 from repro.datasets import visual_road_scene
 from repro.service import TasmServer
 
-from _bench_utils import print_section
+from _bench_utils import emit_bench, print_section
 
 #: Decoded bytes kept by the server's shared cache (64 MiB).
 CACHE_BYTES = 64 * 1024 * 1024
@@ -148,6 +148,7 @@ def test_server_throughput_vs_clients_and_window(benchmark, config, sequential_b
         f"batching window ({QUERIES_PER_CLIENT} queries per client)"
     )
     print(format_table(rows))
+    emit_bench("server_throughput", "clients_vs_window", rows)
 
     for row in rows:
         independent = sum(sequential_baseline[: row["clients"]])
@@ -249,6 +250,7 @@ def test_runner_pool_overlaps_collection_with_execution(config):
         "simulated decode per SOT, cache pre-warmed)"
     )
     print(format_table(rows))
+    emit_bench("server_throughput", "runner_pool", rows)
 
     serial = rows[0]
     for row in rows:

@@ -41,7 +41,7 @@ from repro.datasets import visual_road_scene
 from repro.service import RemoteTasmClient, ShmTransport, SocketTransport, TasmServer
 from repro.service.transport import encode_chunk_payload
 
-from _bench_utils import print_section
+from _bench_utils import emit_bench, print_section
 
 CACHE_BYTES = 64 * 1024 * 1024
 CONCURRENT_SCANS = (1, 4, 8)
@@ -160,6 +160,7 @@ def test_multiplexed_connection_beats_sequential_requests(config):
         f"({SLEEP_PER_SOT_SECONDS * 1000:.0f} ms simulated decode per SOT)"
     )
     print(format_table(rows))
+    emit_bench("service_pipelining", "multiplexing", rows)
 
     for sequential, multiplexed in comparisons:
         if sequential["scans"] == 1:
@@ -220,6 +221,7 @@ def test_binary_pixel_frames_cost_less_than_json_base64(config):
         f"Wire cost of one {len(regions)}-region chunk ({pixel_bytes} pixel bytes)"
     )
     print(format_table(rows))
+    emit_bench("service_pipelining", "wire_cost", rows)
     assert len(binary) < len(legacy) * 0.8, (
         "the binary frame must undercut JSON+base64 by well over base64's "
         "4/3 inflation",
@@ -256,6 +258,7 @@ def test_stream_buffers_hold_their_bound(config):
         )
     print_section("Per-stream buffering under a slow consumer (20 ms per chunk)")
     print(format_table(rows))
+    emit_bench("service_pipelining", "slow_consumer_buffering", rows)
     for row in rows:
         assert row["bounded"], ("stream buffering exceeded its bound", rows)
 
@@ -299,18 +302,16 @@ def test_fast_stream_isolated_from_stalled_consumer(config):
             stalled.result()  # drain afterwards; credits resume the pump
 
     ratio = shared_seconds / solo_seconds
+    rows = [
+        {
+            "solo_seconds": round(solo_seconds, 3),
+            "shared_seconds": round(shared_seconds, 3),
+            "ratio": round(ratio, 3),
+        }
+    ]
     print_section("Fast scan wall time: solo vs sharing the wire with a stalled stream")
-    print(
-        format_table(
-            [
-                {
-                    "solo_seconds": round(solo_seconds, 3),
-                    "shared_seconds": round(shared_seconds, 3),
-                    "ratio": round(ratio, 3),
-                }
-            ]
-        )
-    )
+    print(format_table(rows))
+    emit_bench("service_pipelining", "head_of_line", rows)
     # ~10% is the steady-state claim; the bound leaves headroom for CI noise
     # on a sub-second measurement.
     assert ratio < 1.5, (
@@ -342,18 +343,16 @@ def test_cancellation_stops_decode_promptly(config):
             client.scan(video.name, "person")  # the runner is free again
 
     fraction = cancelled_pixels / full_pixels
+    rows = [
+        {
+            "full_scan_pixels": full_pixels,
+            "cancelled_scan_pixels": cancelled_pixels,
+            "fraction": round(fraction, 3),
+        }
+    ]
     print_section("Pixels decoded: full scan vs scan cancelled after one chunk")
-    print(
-        format_table(
-            [
-                {
-                    "full_scan_pixels": full_pixels,
-                    "cancelled_scan_pixels": cancelled_pixels,
-                    "fraction": round(fraction, 3),
-                }
-            ]
-        )
-    )
+    print(format_table(rows))
+    emit_bench("service_pipelining", "cancellation", rows)
     assert fraction < 0.7, (
         "cancellation must stop decode well short of the full scan",
         full_pixels,
@@ -435,6 +434,7 @@ def test_shm_beats_socket_for_same_host_pixel_throughput(config):
         f"Same-host pixel throughput, warm cache ({repeats} scans per path)"
     )
     print(format_table(rows))
+    emit_bench("service_pipelining", "shm_throughput", rows)
     assert throughput["shm"] > throughput["socket"], (
         "the shared-memory path must move pixels faster than the loopback socket",
         rows,

@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.analysis import format_table
 from repro.datasets import TABLE1_SPECS, table1_rows
 
-from _bench_utils import print_section
+from _bench_utils import emit_bench, print_section
 
 
 def test_table1_dataset_inventory(benchmark):
@@ -21,23 +21,22 @@ def test_table1_dataset_inventory(benchmark):
 
     print_section("Table 1: video datasets (generated stand-ins, measured)")
     print(format_table(rows))
+    emit_bench("table1_datasets", "measured", rows)
 
+    published = [
+        {
+            "dataset": spec.name,
+            "type": spec.video_type,
+            "duration_s": f"{spec.duration_seconds[0]:g}-{spec.duration_seconds[1]:g}",
+            "resolution": ", ".join(spec.resolutions),
+            "coverage_%": f"{spec.coverage_percent[0]:g}-{spec.coverage_percent[1]:g}",
+            "objects": ", ".join(spec.frequent_objects),
+        }
+        for spec in TABLE1_SPECS
+    ]
     print_section("Table 1: published characteristics of the original datasets")
-    print(
-        format_table(
-            [
-                {
-                    "dataset": spec.name,
-                    "type": spec.video_type,
-                    "duration_s": f"{spec.duration_seconds[0]:g}-{spec.duration_seconds[1]:g}",
-                    "resolution": ", ".join(spec.resolutions),
-                    "coverage_%": f"{spec.coverage_percent[0]:g}-{spec.coverage_percent[1]:g}",
-                    "objects": ", ".join(spec.frequent_objects),
-                }
-                for spec in TABLE1_SPECS
-            ]
-        )
-    )
+    print(format_table(published))
+    emit_bench("table1_datasets", "published", published)
 
     # Shape checks: the stand-ins cover both sparse and dense regimes and the
     # Visual-Road-style scenes are sparse, as in the paper.

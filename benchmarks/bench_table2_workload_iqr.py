@@ -19,7 +19,7 @@ from repro.datasets import (
 )
 from repro.workloads import WorkloadRunner, workload_1, workload_3, workload_5
 
-from _bench_utils import bench_config, print_section
+from _bench_utils import bench_config, emit_bench, print_section
 
 #: Queries per workload (the paper uses 100-200); the normalisation makes totals comparable.
 _QUERIES = 100
@@ -91,6 +91,7 @@ def test_table2_workload_quartiles(benchmark, table2_results):
 
     print_section("Table 2: total normalised workload time (quartiles across videos)")
     print(format_table(rows))
+    emit_bench("table2_workload_iqr", "quartiles", rows)
     print(f"\n(the not-tiled strategy always totals the query count, {_QUERIES})")
 
     by_key = {(row["workload"], row["strategy"]): row for row in rows}

@@ -41,6 +41,7 @@ from .tiles import (
     partition_around_boxes,
 )
 from .exec import BatchResult, CacheStats, QueryExecutor, TileDecodeCache
+from .obs import MetricsRegistry, Observability
 from .service import (
     RemoteTasmClient,
     ResultStream,
@@ -94,6 +95,8 @@ __all__ = [
     "partition_around_boxes",
     "BatchResult",
     "CacheStats",
+    "MetricsRegistry",
+    "Observability",
     "QueryExecutor",
     "TileDecodeCache",
     "RemoteTasmClient",

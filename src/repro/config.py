@@ -163,6 +163,18 @@ class TasmConfig:
     #: fit the ring's free space falls back to the socket path.  Plain
     #: ``SocketTransport`` never offers a ring regardless of this value.
     service_shm_ring_bytes: int = 16 * 1024 * 1024
+    #: Master switch for the observability surface (``repro.obs``): the
+    #: metrics registry, per-query traces, and the slow-query log.  Off, the
+    #: server hands out no-op instruments and the shared null trace, so the
+    #: instrumented hot paths cost one no-op call per update.
+    observability: bool = True
+    #: Queries slower than this many milliseconds (submit to completion) are
+    #: logged through ``logging`` (logger ``repro.obs.slowlog``) with their
+    #: full span breakdown attached.  0 disables the slow-query log.
+    slow_query_ms: float = 1000.0
+    #: Completed traces kept in the bounded in-memory ring the ``trace``
+    #: wire op reads from (newest first).
+    trace_history: int = 256
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -201,6 +213,12 @@ class TasmConfig:
             raise ConfigurationError(
                 "service_shm_ring_bytes must be non-negative (0 = no shared-memory ring)"
             )
+        if self.slow_query_ms < 0:
+            raise ConfigurationError(
+                "slow_query_ms must be non-negative (0 = slow-query log off)"
+            )
+        if self.trace_history < 1:
+            raise ConfigurationError("trace_history must be at least 1")
 
     @property
     def layout_duration_frames(self) -> int:

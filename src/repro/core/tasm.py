@@ -174,6 +174,7 @@ class TASM:
         max_workers: int | None = None,
         observer=None,
         cancelled=None,
+        trace_sink=None,
     ) -> "BatchResult":
         """Execute a batch of queries, decoding each needed tile at most once.
 
@@ -187,9 +188,15 @@ class TASM:
         ``cancelled`` (an optional ``plan index -> bool`` probe) lets the
         caller withdraw queries mid-batch; their remaining per-SOT work is
         skipped (see :meth:`repro.exec.engine.BatchExecutor.execute_batch`).
+        ``trace_sink`` receives per-stage timings (plan / warm / serve) for
+        the service layer's per-query traces (``repro.obs``).
         """
         return self._executor.execute_batch(
-            queries, max_workers=max_workers, observer=observer, cancelled=cancelled
+            queries,
+            max_workers=max_workers,
+            observer=observer,
+            cancelled=cancelled,
+            trace_sink=trace_sink,
         )
 
     # ------------------------------------------------------------------

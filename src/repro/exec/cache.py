@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Sequence
@@ -153,6 +154,10 @@ class TileDecodeCache:
         # Single-flight decode coordination: key -> event set when the
         # in-progress decode of that key completes (see begin_decode).
         self._inflight: dict[TileKey, threading.Event] = {}
+        #: Optional observability hook (``seconds -> None``): called with the
+        #: time a follower spent waiting out another thread's in-flight
+        #: decode.  The server wires it to the single-flight wait histogram.
+        self.observe_singleflight = None
 
     # ------------------------------------------------------------------
     # Lookup and insertion
@@ -289,7 +294,13 @@ class TileDecodeCache:
             if event is None:
                 self._inflight[key] = threading.Event()
                 return True
-        event.wait(timeout)
+        observe = self.observe_singleflight
+        if observe is None:
+            event.wait(timeout)
+        else:
+            waited = time.perf_counter()
+            event.wait(timeout)
+            observe(time.perf_counter() - waited)
         return False
 
     def end_decode(self, key: TileKey) -> None:

@@ -197,6 +197,7 @@ class QueryExecutor:
         max_workers: int | None = None,
         observer: Callable[[StreamEvent], None] | None = None,
         cancelled: Callable[[int], bool] | None = None,
+        trace_sink: Callable[..., None] | None = None,
     ) -> BatchResult:
         """Execute a batch of queries, decoding each needed tile at most once.
 
@@ -236,6 +237,15 @@ class QueryExecutor:
         running to completion for nobody.  Its entry in ``results`` holds
         whatever had been assembled before cancellation.
 
+        ``trace_sink``, when given, receives per-stage timings as
+        ``trace_sink(query_index, stage, seconds, **meta)``: a ``plan`` call
+        per query (index-lookup time), a ``warm`` call per prefetched SOT
+        with ``query_index=None`` (the decode is shared by the batch), and a
+        ``serve`` call per (query, SOT) pair carrying cache hit/miss and
+        pixel counts.  Every call comes from the batch's single serving
+        thread (the prefetch pool reports through its collected results), so
+        a sink needs no locking against this batch.
+
         Like ``execute``, the batch holds read locks on each touched video
         while planning (released before decoding, so metadata writes only
         serialize against planners) and on every ``(video, SOT)`` it decodes
@@ -249,7 +259,14 @@ class QueryExecutor:
         sot_held: list = []
         try:
             return self._execute_batch_locked(
-                queries, max_workers, observer, cancelled, locks, video_held, sot_held
+                queries,
+                max_workers,
+                observer,
+                cancelled,
+                trace_sink,
+                locks,
+                video_held,
+                sot_held,
             )
         finally:
             locks.release_read(video_held)
@@ -261,12 +278,16 @@ class QueryExecutor:
         max_workers: int | None,
         observer: Callable[[StreamEvent], None] | None,
         cancelled: Callable[[int], bool] | None,
+        trace_sink: Callable[..., None] | None,
         locks,
         video_held: list,
         sot_held: list,
     ) -> BatchResult:
         plans = [self._plan(query) for query in queries]
         index_seconds = sum(plan.index_seconds for plan in plans)
+        if trace_sink is not None:
+            for plan_index, plan in enumerate(plans):
+                trace_sink(plan_index, "plan", plan.index_seconds)
 
         cache = self._tasm.tile_cache
         batch_scoped_cache = cache is None
@@ -346,6 +367,18 @@ class QueryExecutor:
                 self._apply_decoded(result, decoded)
                 result.decode_seconds += decoded.elapsed_seconds
                 elapsed += decoded.elapsed_seconds
+                if trace_sink is not None:
+                    trace_sink(
+                        plan_index,
+                        "serve",
+                        decoded.elapsed_seconds,
+                        video=key[0],
+                        sot=key[1],
+                        cache_hits=decoded.stats.cache_hits,
+                        cache_misses=decoded.stats.cache_misses,
+                        pixels_decoded=decoded.stats.pixels_decoded,
+                        pixels_from_cache=decoded.stats.pixels_served_from_cache,
+                    )
                 pending_sots[plan_index] -= 1
                 if observer is not None:
                     observer(
@@ -403,6 +436,11 @@ class QueryExecutor:
                         warm = future.result()
                         warm_stats.merge(warm.stats)
                         warm_seconds += warm.elapsed_seconds
+                        if trace_sink is not None:
+                            trace_sink(
+                                None, "warm", warm.elapsed_seconds,
+                                video=key[0], sot=key[1],
+                            )
                     if _fully_cancelled(key):
                         _skip_group(key)
                         continue
@@ -415,6 +453,10 @@ class QueryExecutor:
                 warm = _prefetch(key)
                 warm_stats.merge(warm.stats)
                 warm_seconds += warm.elapsed_seconds
+                if trace_sink is not None:
+                    trace_sink(
+                        None, "warm", warm.elapsed_seconds, video=key[0], sot=key[1]
+                    )
                 serve_seconds += _serve_group(key)
 
         total = DecodeStats()

@@ -33,6 +33,12 @@ available to *many concurrent callers*, the deployment VSS targets:
   handshake: same-host clients receive pixel payloads through shared memory
   (descriptors only on the socket), with clean per-chunk fallback to the
   socket path when the ring is full or the negotiation fails.
+
+Observability: the server owns an :class:`~repro.obs.Observability` instance
+(``TasmServer.obs``) — a metrics registry, per-query traces, and a slow-query
+log — exposed in process via ``TasmServer.metrics_snapshot()`` / ``traces()``
+/ ``render_metrics()`` and over the wire through the ``metrics`` and
+``trace`` ops (``RemoteTasmClient.metrics()`` / ``.traces()``).
 """
 
 from .scheduler import BatchScheduler, ResultStream, StreamChunk

@@ -79,3 +79,11 @@ class TasmClient:
 
     def stats(self):
         return self._server.stats()
+
+    def metrics(self) -> dict:
+        """The server's full metrics snapshot (see ``repro.obs``)."""
+        return self._server.metrics_snapshot()
+
+    def traces(self, last: int = 16) -> list[dict]:
+        """The server's most recent completed query traces, newest first."""
+        return self._server.traces(last)

@@ -41,6 +41,8 @@ from ..core.query import Query
 from ..core.scan import ScanRegion, ScanResult
 from ..errors import ServiceError, StreamCancelledError
 from ..exec.engine import BatchResult, PartialResult, QueryDone
+from ..obs import DISABLED, Observability
+from ..obs.trace import NULL_TRACE
 from ..video.codec import DecodeStats
 
 __all__ = ["BatchScheduler", "ResultStream", "StreamChunk"]
@@ -80,6 +82,19 @@ class ResultStream:
     def __init__(self, query: Query, buffer_chunks: int = 0):
         self.query = query
         self.submitted_at = time.perf_counter()
+        #: The query's observability trace (``repro.obs``): the scheduler
+        #: installs a live one at submit when observability is enabled; the
+        #: shared null trace otherwise, so span recording never branches.
+        self.trace = NULL_TRACE
+        #: Guard making the cancelled-query counter exactly-once per stream,
+        #: whichever path (pending drop, mid-batch skip, failed-batch sweep)
+        #: notices the cancellation first.  Written under the scheduler's
+        #: counter lock.
+        self._cancel_counted = False
+        #: Guard so a query retried as a singleton after a batch failure does
+        #: not record a second queue-wait span/observation.  Touched only by
+        #: the runner thread executing the stream's batch.
+        self._queue_span_recorded = False
         #: Set (producer-side) when the first chunk was pushed; None until then.
         self.first_chunk_at: float | None = None
         self.completed_at: float | None = None
@@ -274,8 +289,10 @@ class BatchScheduler:
         stream_buffer_chunks: int = 0,
         on_query_done: Callable[[Query, ScanResult], None] | None = None,
         on_batch_done: Callable[[BatchResult], None] | None = None,
+        obs: Observability | None = None,
     ):
         self._tasm = tasm
+        self._obs = obs if obs is not None else DISABLED
         self._window_seconds = window_ms / 1000.0
         self._max_batch = max_batch
         self._runner_count = max(1, runners)
@@ -359,7 +376,7 @@ class BatchScheduler:
             self._pending_count = 0
             self._cond.notify_all()  # wake the collector so it can exit
         for stream in queued:
-            stream._fail(ServiceError("the server was stopped"))
+            self._fail_stream(stream, ServiceError("the server was stopped"))
         deadline = None if timeout is None else time.monotonic() + timeout
 
         def _join(thread: threading.Thread | None) -> None:
@@ -380,7 +397,7 @@ class BatchScheduler:
         with self._cond:
             stragglers = [stream for stream in self._in_flight if not stream.done]
         for stream in stragglers:
-            stream._fail(ServiceError("the server was stopped"))
+            self._fail_stream(stream, ServiceError("the server was stopped"))
 
     @property
     def running(self) -> bool:
@@ -421,6 +438,7 @@ class BatchScheduler:
         """
         stream = ResultStream(query, buffer_chunks=self._stream_buffer_chunks)
         stream._liveness = self._workers_alive
+        stream.trace = self._obs.start_trace(query)
         with self._state_lock:
             if not self._running:
                 raise ServiceError("the server is not running")
@@ -488,8 +506,7 @@ class BatchScheduler:
                 # elsewhere): its consumer already has an answer, so it never
                 # costs a batch slot or a decode.
                 if stream.cancelled:
-                    with self._counter_lock:
-                        self.queries_cancelled += 1
+                    self._count_cancel(stream)
             else:
                 batch.append(stream)
             if bucket:
@@ -500,6 +517,44 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     # Batch execution (runner threads)
     # ------------------------------------------------------------------
+    def _count_cancel(self, stream: ResultStream) -> None:
+        """Count one consumer-cancelled query — exactly once per stream.
+
+        Three paths can notice a cancellation (dropped while pending, skipped
+        mid-batch, swept while retrying a failed batch); the per-stream guard
+        makes whichever runs first the only one that counts, and finishes the
+        query's trace as ``cancelled``.
+        """
+        with self._counter_lock:
+            if stream._cancel_counted:
+                return
+            stream._cancel_counted = True
+            self.queries_cancelled += 1
+        self._obs.finish_query(stream.trace, status="cancelled")
+
+    def _fail_stream(self, stream: ResultStream, error: BaseException) -> None:
+        """Fail one stream and finish its trace; first terminal state wins."""
+        if stream._fail(error):
+            self._obs.finish_query(stream.trace, status="error")
+
+    def _make_trace_sink(self, batch: Sequence[ResultStream]):
+        """The callback the executor reports stage timings through.
+
+        ``sink(query_index, stage, seconds, **meta)`` records into the
+        ``tasm_stage_seconds`` histogram and — when the stage belongs to one
+        query (``query_index`` is not None; warm prefetch is shared by the
+        batch) — appends a detail span to that query's trace.  The executor
+        calls it only from the batch's single serving thread.
+        """
+        stage_seconds = self._obs.stage_seconds
+
+        def sink(query_index, stage: str, seconds: float, **meta) -> None:
+            stage_seconds.labels(stage=stage).observe(seconds)
+            if query_index is not None:
+                batch[query_index].trace.add_span(stage, seconds, **meta)
+
+        return sink
+
     def _run_batches(self) -> None:
         while True:
             item = self._batches.get()
@@ -514,12 +569,25 @@ class BatchScheduler:
                 # so their waiters raise, and keep serving later batches.
                 for stream in item:
                     if not stream.done:
-                        stream._fail(error)
+                        self._fail_stream(stream, error)
             finally:
                 with self._cond:
                     self._in_flight.difference_update(item)
 
     def _execute(self, batch: Sequence[ResultStream]) -> None:
+        obs = self._obs
+        batch_started = time.perf_counter()
+        if obs.enabled:
+            obs.batch_size.observe(len(batch))
+            for stream in batch:
+                if stream._queue_span_recorded:
+                    continue
+                stream._queue_span_recorded = True
+                wait = batch_started - stream.submitted_at
+                obs.queue_wait_seconds.observe(wait)
+                stream.trace.add_span("queue", wait, top=True)
+        trace_sink = self._make_trace_sink(batch) if obs.enabled else None
+
         def observer(event) -> None:
             if isinstance(event, PartialResult):
                 batch[event.query_index]._push_chunk(
@@ -529,7 +597,14 @@ class BatchScheduler:
                 stream = batch[event.query_index]
                 if self._on_query_done is not None:
                     self._on_query_done(stream.query, event.result)
+                # The execute span closes the timeline the queue span opened:
+                # together the two top-level spans tile the query's wall time.
+                stream.trace.add_span(
+                    "execute", time.perf_counter() - batch_started, top=True
+                )
                 stream._finish(event.result)
+                if not stream.cancelled:
+                    obs.finish_query(stream.trace)
 
         try:
             result = self._tasm.execute_batch(
@@ -541,6 +616,7 @@ class BatchScheduler:
                 # whole SOTs only it needed, freeing the runner within ~one
                 # GOP of the cancel.
                 cancelled=lambda index: batch[index].done,
+                trace_sink=trace_sink,
             )
         except BaseException as error:  # noqa: BLE001 — must fail the waiters
             # One bad query (unknown video, malformed predicate) must not
@@ -549,22 +625,32 @@ class BatchScheduler:
             # streamed chunks cannot be replayed without duplicating them,
             # so it fails with the batch's error.
             if len(batch) == 1:
-                if not batch[0].done:
-                    batch[0]._fail(error)
+                stream = batch[0]
+                if not stream.done:
+                    self._fail_stream(stream, error)
+                elif stream.cancelled:
+                    self._count_cancel(stream)
                 return
             for stream in batch:
                 if stream.done:
+                    # Cancelled (or failed elsewhere) while the batch ran; the
+                    # sweep is the only path that sees a cancel the collector
+                    # and the success path both missed, so it must count it.
+                    if stream.cancelled:
+                        self._count_cancel(stream)
                     continue
                 if stream.first_chunk_at is not None:
-                    stream._fail(error)
+                    self._fail_stream(stream, error)
                 else:
                     self._execute([stream])
             return
-        cancelled_in_batch = sum(1 for stream in batch if stream.cancelled)
+        cancelled_in_batch = [stream for stream in batch if stream.cancelled]
         with self._counter_lock:
             self.batches_executed += 1
-            self.queries_completed += len(batch) - cancelled_in_batch
-            self.queries_cancelled += cancelled_in_batch
+            self.queries_completed += len(batch) - len(cancelled_in_batch)
             self.total_stats.merge(result.stats)
+        for stream in cancelled_in_batch:
+            self._count_cancel(stream)
+        obs.batches_executed.inc()
         if self._on_batch_done is not None:
             self._on_batch_done(result)

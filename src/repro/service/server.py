@@ -43,6 +43,7 @@ from ..core.scan import ScanResult
 from ..core.tasm import TASM
 from ..detection.base import Detection
 from ..exec.cache import TileDecodeCache
+from ..obs import Observability
 from ..storage.tiled_video import RetileRecord
 from ..tiles.layout import TileLayout
 from .scheduler import BatchScheduler, ResultStream
@@ -81,9 +82,17 @@ class ServerStats:
     #: naming that class.  A multi-label query contributes to every class it
     #: names, so the per-class figures attribute shared work, not split it.
     decode_work_by_label: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: The observability registry's full snapshot (``repro.obs``), nested so
+    #: the legacy flat keys above stay byte-identical for existing consumers.
+    metrics: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
-        """A JSON-serialisable form (used by the socket transport)."""
+        """A JSON-serialisable form (used by the socket transport).
+
+        The legacy flat keys are a compatibility surface: existing dashboards
+        and the wire's ``stats`` op consume them, so new telemetry lands under
+        the nested ``metrics`` key instead of widening the flat namespace.
+        """
         return {
             "uptime_seconds": self.uptime_seconds,
             "queries_submitted": self.queries_submitted,
@@ -104,6 +113,7 @@ class ServerStats:
                 label: dict(work)
                 for label, work in self.decode_work_by_label.items()
             },
+            "metrics": self.metrics,
         }
 
 
@@ -135,6 +145,10 @@ class TasmServer:
             )
             tasm._decoder.cache = tasm.tile_cache
         self.tasm = tasm
+        #: The server's observability surface (metrics registry, per-query
+        #: traces, slow-query log).  Honours ``TasmConfig.observability``; a
+        #: disabled instance is all no-ops.
+        self.obs = Observability.from_config(tasm.config)
         self._scheduler = BatchScheduler(
             tasm,
             window_ms=tasm.config.service_batch_window_ms,
@@ -142,11 +156,43 @@ class TasmServer:
             runners=tasm.config.service_runners,
             stream_buffer_chunks=tasm.config.service_stream_buffer_chunks,
             on_query_done=self._record_query_done,
+            obs=self.obs,
         )
         self._started_at: float | None = None
         self._stats_lock = threading.Lock()
         self._queries_submitted = 0
         self._work_by_label: dict[str, dict[str, int]] = {}
+        if self.obs.enabled:
+            self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Register callback gauges over state that already exists.
+
+        Queue depth, cache occupancy, and cache hit/miss totals are read at
+        snapshot time through callbacks, so the hot paths maintaining that
+        state pay nothing for being observable.
+        """
+        registry = self.obs.registry
+        scheduler = self._scheduler
+        registry.gauge(
+            "tasm_queue_depth", "Queries accepted but not yet in a batch."
+        ).set_callback(lambda: scheduler.queue_depth)
+        cache = self.tasm.tile_cache
+        if cache is not None:
+            registry.gauge(
+                "tasm_cache_bytes", "Decoded bytes held by the tile cache."
+            ).set_callback(lambda: cache.current_bytes)
+            registry.gauge(
+                "tasm_cache_entries", "Entries held by the tile cache."
+            ).set_callback(lambda: len(cache))
+            registry.gauge(
+                "tasm_cache_hits", "Tile-cache lookup hits since start."
+            ).set_callback(lambda: cache.stats.hits)
+            registry.gauge(
+                "tasm_cache_misses", "Tile-cache lookup misses since start."
+            ).set_callback(lambda: cache.stats.misses)
+            # Follower waits on in-flight decodes flow into the histogram.
+            cache.observe_singleflight = self.obs.singleflight_wait_seconds.observe
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -270,4 +316,21 @@ class TasmServer:
             pixels_decoded=self._scheduler.total_stats.pixels_decoded,
             pixels_served_from_cache=self._scheduler.total_stats.pixels_served_from_cache,
             decode_work_by_label=by_label,
+            metrics=self.obs.snapshot(),
         )
+
+    def metrics_snapshot(self) -> dict:
+        """The observability registry's full snapshot (JSON-serialisable).
+
+        The wire's ``metrics`` op returns exactly this; render it for humans
+        with :func:`repro.obs.render_text`.
+        """
+        return self.obs.snapshot()
+
+    def traces(self, last: int = 16) -> list[dict]:
+        """The most recent completed query traces, newest first."""
+        return self.obs.traces.last(last)
+
+    def render_metrics(self) -> str:
+        """The current metrics in Prometheus text exposition format."""
+        return self.obs.render_text()

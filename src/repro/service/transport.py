@@ -71,6 +71,7 @@ import queue
 import socket
 import struct
 import threading
+import time
 import warnings
 from collections import deque
 from typing import Iterator
@@ -80,6 +81,7 @@ import numpy as np
 from ..core.predicates import TemporalPredicate
 from ..core.scan import ScanRegion, ScanResult
 from ..errors import ProtocolError, ServiceError, StreamCancelledError, TransportError
+from ..obs import DISABLED
 from ..geometry import Rectangle
 from ..video.codec import DecodeStats
 
@@ -496,6 +498,12 @@ class _Outbox:
             self._closed = True
             self._cond.notify_all()
 
+    @property
+    def depth(self) -> int:
+        """Frames accepted but not yet written to the socket."""
+        with self._cond:
+            return len(self._frames)
+
 
 # ----------------------------------------------------------------------
 # Server side
@@ -541,11 +549,24 @@ class SocketTransport:
         if self._running:
             return self
         self._running = True
+        obs = getattr(self._server, "obs", None)
+        if obs is not None and obs.enabled:
+            # Total frames parked in connection outboxes: a growing depth
+            # means the wire (or a slow client socket) is the bottleneck.
+            obs.registry.gauge(
+                "tasm_outbox_depth",
+                "Frames queued in connection outboxes awaiting the writer.",
+            ).set_callback(self._outbox_depth)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="tasm-socket-accept", daemon=True
         )
         self._accept_thread.start()
         return self
+
+    def _outbox_depth(self) -> int:
+        with self._connections_lock:
+            connections = list(self._connections)
+        return sum(connection._outbox.depth for connection in connections)
 
     def stop(self) -> None:
         if not self._running:
@@ -626,6 +647,7 @@ class _Connection:
     def __init__(self, server, sock: socket.socket, outbox_frames: int, shm_ring_bytes: int = 0):
         self._server = server
         self._sock = sock
+        self._obs = getattr(server, "obs", None) or DISABLED
         self._outbox = _Outbox(outbox_frames)
         self._closing = threading.Event()
         self._scans_lock = threading.Lock()
@@ -718,6 +740,22 @@ class _Connection:
             self._reply({"type": "ok", "id": query_id})
         elif op == "stats":
             self._reply({"type": "stats", "id": query_id, **self._server.stats().as_dict()})
+        elif op == "metrics":
+            self._reply(
+                {
+                    "type": "metrics",
+                    "id": query_id,
+                    "metrics": self._server.metrics_snapshot(),
+                }
+            )
+        elif op == "trace":
+            self._reply(
+                {
+                    "type": "trace",
+                    "id": query_id,
+                    "traces": self._server.traces(int(message.get("last", 16))),
+                }
+            )
         else:
             self._reply({"type": "error", "id": query_id, "message": f"unknown op {op!r}"})
 
@@ -802,11 +840,14 @@ class _Connection:
     # Pump threads (one per in-flight scan)
     # ------------------------------------------------------------------
     def _pump_scan(self, query_id: int, stream) -> None:
+        pump_started = time.perf_counter()
+        chunks_sent = 0
         try:
             try:
                 for chunk in stream:
                     self._await_credit(query_id)
                     self._send_chunk(query_id, chunk)
+                    chunks_sent += 1
                 result = stream.result()
             except _ScanCancelled:
                 return  # the client walked away; it awaits no reply
@@ -816,6 +857,12 @@ class _Connection:
                         {"type": "error", "id": query_id, "message": str(error)}
                     )
                 return
+            # Detail span on the (already finished) trace: time this pump
+            # spent delivering the scan's chunks over the wire.  Trace
+            # mutation is lock-protected, so the ring's readers see it whole.
+            stream.trace.add_span(
+                "wire", time.perf_counter() - pump_started, chunks=chunks_sent
+            )
             self._reply(
                 {
                     "type": "done",
@@ -847,19 +894,32 @@ class _Connection:
         Only this stream suspends: the writer, the other pumps, and the
         reader keep running, which is the whole point of per-stream credits.
         """
-        with self._flow:
-            while True:
-                if self._closing.is_set():
-                    raise _ConnectionClosed("connection closed while awaiting credit")
-                if query_id in self._cancelled:
-                    raise _ScanCancelled()
-                credit = self._credits.get(query_id)
-                if credit is None:  # unbounded stream — never parks
-                    return
-                if credit > 0:
-                    self._credits[query_id] = credit - 1
-                    return
-                self._flow.wait(1.0)
+        stalled_at: float | None = None
+        try:
+            with self._flow:
+                while True:
+                    if self._closing.is_set():
+                        raise _ConnectionClosed(
+                            "connection closed while awaiting credit"
+                        )
+                    if query_id in self._cancelled:
+                        raise _ScanCancelled()
+                    credit = self._credits.get(query_id)
+                    if credit is None:  # unbounded stream — never parks
+                        return
+                    if credit > 0:
+                        self._credits[query_id] = credit - 1
+                        return
+                    if stalled_at is None:
+                        stalled_at = time.perf_counter()
+                    self._flow.wait(1.0)
+        finally:
+            # Only actual stalls are observed; the common credit-available
+            # case records nothing.
+            if stalled_at is not None:
+                self._obs.credit_stall_seconds.observe(
+                    time.perf_counter() - stalled_at
+                )
 
     def _is_cancelled(self, query_id: int) -> bool:
         with self._flow:
@@ -879,10 +939,14 @@ class _Connection:
                     + _CHUNK_HEADER.pack(len(header))
                     + header,
                 )
+                self._obs.chunks_sent.labels(path="shm").inc()
                 return
+            # Ring negotiated but full: this chunk rides the socket instead.
+            self._obs.shm_fallbacks.inc()
         self._enqueue(
             KIND_CHUNK, _CHUNK_HEADER.pack(len(header)) + header + b"".join(blobs)
         )
+        self._obs.chunks_sent.labels(path="socket").inc()
 
     def _forget_scan(self, query_id: int) -> None:
         with self._scans_lock:
@@ -1380,6 +1444,23 @@ class RemoteTasmClient:
         if reply.get("type") != "stats":
             raise ServiceError(f"stats failed: {reply}")
         return reply
+
+    def metrics(self) -> dict:
+        """The server's full metrics snapshot (see ``repro.obs``).
+
+        Render it for humans with :func:`repro.obs.render_text`.
+        """
+        reply = self._request({"op": "metrics"})
+        if reply.get("type") != "metrics":
+            raise ServiceError(f"metrics failed: {reply}")
+        return reply["metrics"]
+
+    def traces(self, last: int = 16) -> list[dict]:
+        """The server's most recent completed query traces, newest first."""
+        reply = self._request({"op": "trace", "last": last})
+        if reply.get("type") != "trace":
+            raise ServiceError(f"trace failed: {reply}")
+        return reply["traces"]
 
     def _request(self, message: dict) -> dict:
         """One blocking request/response exchange over the multiplexed wire."""
