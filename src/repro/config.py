@@ -175,6 +175,33 @@ class TasmConfig:
     #: Completed traces kept in the bounded in-memory ring the ``trace``
     #: wire op reads from (newest first).
     trace_history: int = 256
+    #: Admission bound of the service scheduler: a query arriving while this
+    #: many are already pending is refused immediately with
+    #: :class:`~repro.errors.ServerBusy` instead of joining a backlog the
+    #: server cannot drain.  0 disables the bound (accept everything).
+    service_max_queue_depth: int = 0
+    #: Queue-wait breaker threshold in milliseconds: when the p95 of
+    #: ``tasm_queue_wait_seconds`` (over a recent window of batches, read
+    #: from the observability surface) exceeds this, the scheduler sheds the
+    #: lowest-priority pending queries with :class:`~repro.errors.ServerBusy`
+    #: until the backlog halves.  0 disables the breaker.  Requires
+    #: ``observability=True`` — the breaker reads the metrics registry.
+    service_shed_queue_wait_ms: float = 0.0
+    #: A query whose execution kills this many batch-runner threads is
+    #: quarantined with :class:`~repro.errors.PoisonQueryError` instead of
+    #: being re-queued a further time (the supervisor restarts crashed
+    #: runners and re-queues their batches' other queries regardless).
+    service_poison_query_kills: int = 3
+    #: Seconds an accepted socket may sit without completing its first frame
+    #: (normally the hello) before the server closes it and counts
+    #: ``tasm_handshakes_timed_out_total`` — a peer that connects and never
+    #: speaks must not pin a server thread forever.  0 disables the bound.
+    service_handshake_timeout_s: float = 5.0
+    #: A :class:`~repro.faults.FaultPlan` activating deterministic fault
+    #: injection at the server-side points (transport drop/cut/delay,
+    #: decoder errors, runner death).  None — the default — leaves every
+    #: injection hook a no-op ``None`` check.
+    fault_plan: "Any | None" = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -219,6 +246,24 @@ class TasmConfig:
             )
         if self.trace_history < 1:
             raise ConfigurationError("trace_history must be at least 1")
+        if self.service_max_queue_depth < 0:
+            raise ConfigurationError(
+                "service_max_queue_depth must be non-negative (0 = unbounded)"
+            )
+        if self.service_shed_queue_wait_ms < 0:
+            raise ConfigurationError(
+                "service_shed_queue_wait_ms must be non-negative (0 = breaker off)"
+            )
+        if self.service_poison_query_kills < 1:
+            raise ConfigurationError("service_poison_query_kills must be at least 1")
+        if self.service_handshake_timeout_s < 0:
+            raise ConfigurationError(
+                "service_handshake_timeout_s must be non-negative (0 = no bound)"
+            )
+        if self.fault_plan is not None and not hasattr(self.fault_plan, "site"):
+            raise ConfigurationError(
+                "fault_plan must be a repro.faults.FaultPlan (or expose .site())"
+            )
 
     @property
     def layout_duration_frames(self) -> int:

@@ -175,6 +175,7 @@ class TASM:
         observer=None,
         cancelled=None,
         trace_sink=None,
+        skip_sots=None,
     ) -> "BatchResult":
         """Execute a batch of queries, decoding each needed tile at most once.
 
@@ -189,7 +190,10 @@ class TASM:
         caller withdraw queries mid-batch; their remaining per-SOT work is
         skipped (see :meth:`repro.exec.engine.BatchExecutor.execute_batch`).
         ``trace_sink`` receives per-stage timings (plan / warm / serve) for
-        the service layer's per-query traces (``repro.obs``).
+        the service layer's per-query traces (``repro.obs``).  ``skip_sots``
+        (a per-query set of SOT indices to leave unplanned, aligned with
+        ``queries``) is the resume primitive for interrupted streams — see
+        :meth:`repro.exec.engine.QueryExecutor.execute_batch`.
         """
         return self._executor.execute_batch(
             queries,
@@ -197,6 +201,7 @@ class TASM:
             observer=observer,
             cancelled=cancelled,
             trace_sink=trace_sink,
+            skip_sots=skip_sots,
         )
 
     # ------------------------------------------------------------------

@@ -83,6 +83,68 @@ class StreamCancelledError(ServiceError):
     of waiting for chunks that will never come."""
 
 
+class DeadlineExceeded(ServiceError):
+    """Raised when a query's ``deadline_ms`` elapsed before it completed.
+
+    The scheduler enforces deadlines at two points: a query still *pending*
+    when its deadline passes is dropped before ever entering a batch, and a
+    query already *executing* is abandoned mid-batch through the executor's
+    cancelled-probe — the remaining per-SOT decodes are skipped, so an
+    expired query stops costing runner time within roughly one SOT."""
+
+
+class ServerBusy(ServiceError):
+    """Raised when admission control refuses a query (``SERVER_BUSY``).
+
+    Two shedders raise it: the fast-fail depth bound (the pending queue is
+    already ``service_max_queue_depth`` deep — the query is refused before a
+    trace or stream is allocated) and the queue-wait breaker (queue-wait p95
+    crossed ``service_shed_queue_wait_ms`` — the lowest-priority pending
+    queries are shed to drain the backlog).  Clients should back off and
+    retry; the request was never executed."""
+
+
+class PoisonQueryError(ServiceError):
+    """Raised for a query that crashed the batch runner executing it
+    ``service_poison_query_kills`` times.
+
+    The supervisor restarts crashed runners and re-queues their batches'
+    unaffected queries, but a query whose execution keeps killing runners
+    would take the pool down serially forever; after K kills it is
+    quarantined with this error instead of being re-queued again."""
+
+
+#: Machine-readable wire codes for the typed service errors, so a remote
+#: client can rebuild the exception class from an error reply.  Checked in
+#: order; the first ``isinstance`` match wins.
+_WIRE_ERROR_CODES: tuple[tuple[type, str], ...] = (
+    (DeadlineExceeded, "deadline"),
+    (ServerBusy, "busy"),
+    (PoisonQueryError, "poison"),
+    (StreamCancelledError, "cancelled"),
+)
+
+_WIRE_CODE_CLASSES = {code: cls for cls, code in _WIRE_ERROR_CODES}
+
+
+def error_code(error: BaseException) -> "str | None":
+    """The wire code for ``error`` (walking its cause chain), or None."""
+    seen = 0
+    while error is not None and seen < 8:
+        for cls, code in _WIRE_ERROR_CODES:
+            if isinstance(error, cls):
+                return code
+        error = error.__cause__
+        seen += 1
+    return None
+
+
+def error_from_code(code: "str | None", message: str) -> "ServiceError":
+    """Rebuild the typed ServiceError a wire error reply encodes."""
+    cls = _WIRE_CODE_CLASSES.get(code, ServiceError)
+    return cls(message)
+
+
 class TransportError(ServiceError):
     """Raised by the socket transport for wire-level failures.
 

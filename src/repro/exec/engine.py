@@ -37,6 +37,8 @@ from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 from ..concurrency import VIDEO_LEVEL
 from ..core.query import Query
 from ..core.scan import ScanRegion, ScanResult
+from ..errors import CodecError
+from ..faults.plan import FAULT_DECODE_ERROR
 from ..video.codec import DecodeStats
 from ..video.decoder import DecodeResult, RegionRequest, VideoDecoder
 from .cache import CacheStats, TileDecodeCache
@@ -158,6 +160,12 @@ class QueryExecutor:
 
     def __init__(self, tasm: "TASM"):
         self._tasm = tasm
+        # Fault injection (repro.faults): resolved once so the production
+        # path pays one None check per prefetch when no plan is configured.
+        plan = getattr(tasm.config, "fault_plan", None)
+        self._fault_decode = (
+            plan.site(FAULT_DECODE_ERROR) if plan is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Single-query execution (the Scan path)
@@ -198,6 +206,7 @@ class QueryExecutor:
         observer: Callable[[StreamEvent], None] | None = None,
         cancelled: Callable[[int], bool] | None = None,
         trace_sink: Callable[..., None] | None = None,
+        skip_sots: "Sequence[object | None] | None" = None,
     ) -> BatchResult:
         """Execute a batch of queries, decoding each needed tile at most once.
 
@@ -237,6 +246,16 @@ class QueryExecutor:
         running to completion for nobody.  Its entry in ``results`` holds
         whatever had been assembled before cancellation.
 
+        ``skip_sots``, when given, is a sequence aligned with ``queries``: a
+        per-query set of SOT indices to leave out of the plan (None or an
+        empty set skips nothing).  This is the resume primitive: a query
+        re-queued after a runner crash, or re-submitted by a reconnecting
+        client, passes the SOT indices whose chunks were already delivered,
+        and the remaining SOTs are planned, decoded, and streamed exactly as
+        the uninterrupted run would have ordered them (per-video SOT order is
+        ascending), so the concatenation of delivered chunks stays
+        byte-identical to a fault-free run.
+
         ``trace_sink``, when given, receives per-stage timings as
         ``trace_sink(query_index, stage, seconds, **meta)``: a ``plan`` call
         per query (index-lookup time), a ``warm`` call per prefetched SOT
@@ -264,6 +283,7 @@ class QueryExecutor:
                 observer,
                 cancelled,
                 trace_sink,
+                skip_sots,
                 locks,
                 video_held,
                 sot_held,
@@ -279,11 +299,23 @@ class QueryExecutor:
         observer: Callable[[StreamEvent], None] | None,
         cancelled: Callable[[int], bool] | None,
         trace_sink: Callable[..., None] | None,
+        skip_sots: "Sequence[object | None] | None",
         locks,
         video_held: list,
         sot_held: list,
     ) -> BatchResult:
         plans = [self._plan(query) for query in queries]
+        if skip_sots is not None:
+            # Resume support: drop the SOTs whose chunks the caller already
+            # holds — the remaining SOTs stream in the same ascending order
+            # the uninterrupted plan would have served them in.
+            for plan, skip in zip(plans, skip_sots):
+                if skip:
+                    plan.sot_requests = [
+                        (sot_index, requests)
+                        for sot_index, requests in plan.sot_requests
+                        if sot_index not in skip
+                    ]
         index_seconds = sum(plan.index_seconds for plan in plans)
         if trace_sink is not None:
             for plan_index, plan in enumerate(plans):
@@ -351,7 +383,13 @@ class QueryExecutor:
         serve_seconds = 0.0
         workers = max_workers if max_workers is not None else self._tasm.config.executor_threads
 
+        fault_decode = self._fault_decode
+
         def _prefetch(key: tuple[str, int]) -> DecodeResult:
+            if fault_decode is not None and fault_decode.should_fire():
+                raise CodecError(
+                    f"injected decoder fault prefetching {key[0]!r} SOT {key[1]}"
+                )
             return decoder.prefetch_regions(encoded[key], union[key], scope=key[0])
 
         def _serve_group(key: tuple[str, int]) -> float:

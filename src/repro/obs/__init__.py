@@ -140,6 +140,35 @@ class Observability:
             "tasm_credit_stall_seconds",
             "Time a stream's pump spent parked waiting for client credits.",
         )
+        # Fault tolerance ---------------------------------------------------
+        self.queries_deadline_exceeded = registry.counter(
+            "tasm_queries_deadline_exceeded_total",
+            "Queries failed because their deadline_ms elapsed (while pending "
+            "or mid-batch).",
+        )
+        self.queries_shed = registry.counter(
+            "tasm_queries_shed_total",
+            "Queries refused by admission control, by shedder.",
+            labels=("reason",),
+        )
+        self.queries_quarantined = registry.counter(
+            "tasm_queries_quarantined_total",
+            "Queries quarantined after repeatedly killing batch runners.",
+        )
+        self.runner_restarts = registry.counter(
+            "tasm_runner_restarts_total",
+            "Crashed batch-runner threads replaced by the supervisor.",
+        )
+        self.scan_retries = registry.counter(
+            "tasm_scan_retries_total",
+            "Scan submissions that resumed an interrupted stream "
+            "(carried skip_sots after a client reconnect).",
+        )
+        self.handshakes_timed_out = registry.counter(
+            "tasm_handshakes_timed_out_total",
+            "Accepted sockets closed for not completing a first frame "
+            "within the handshake timeout.",
+        )
 
     @classmethod
     def from_config(cls, config) -> "Observability":
@@ -178,6 +207,15 @@ class Observability:
             self.query_seconds.observe(total)
         elif status == "cancelled":
             self.queries_cancelled.inc()
+        elif status == "deadline":
+            self.queries_deadline_exceeded.inc()
+        elif status == "shed":
+            # The breaker path: the query had been admitted (it has a trace)
+            # before the shedder refused it.  The depth-bound fast-fail path
+            # never allocates a trace and counts reason="queue_full" itself.
+            self.queries_shed.labels(reason="breaker").inc()
+        elif status == "quarantined":
+            self.queries_quarantined.inc()
         else:
             self.queries_failed.inc()
         self.traces.append(trace)

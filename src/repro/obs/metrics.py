@@ -256,6 +256,9 @@ class _NullInstrument:
     def total(self) -> float:
         return 0.0
 
+    def snapshot_value(self) -> dict:
+        return {"count": 0, "sum": 0.0, "buckets": []}
+
 
 NULL_INSTRUMENT = _NullInstrument()
 
@@ -331,6 +334,15 @@ class _Family:
     @property
     def total(self):
         return self._default_child().total
+
+    def snapshot_value(self):
+        """The unlabelled child's consistent snapshot value.
+
+        For a histogram this is ``{"count", "sum", "buckets"}`` with
+        cumulative bucket counts — the shape the queue-wait breaker
+        (``repro.service.shedding``) computes windowed percentiles from.
+        """
+        return self._default_child()._snapshot_value()
 
     def _snapshot(self) -> dict:
         with self._lock:

@@ -44,10 +44,12 @@ log — exposed in process via ``TasmServer.metrics_snapshot()`` / ``traces()``
 from .scheduler import BatchScheduler, ResultStream, StreamChunk
 from .server import DEFAULT_SERVER_CACHE_BYTES, ServerStats, TasmServer
 from .client import TasmClient
+from .shedding import QueueWaitBreaker
 from .transport import (
     PROTOCOL_VERSION,
     RemoteScanStream,
     RemoteTasmClient,
+    RetryPolicy,
     ShmTransport,
     SocketTransport,
 )
@@ -56,9 +58,11 @@ __all__ = [
     "BatchScheduler",
     "DEFAULT_SERVER_CACHE_BYTES",
     "PROTOCOL_VERSION",
+    "QueueWaitBreaker",
     "RemoteScanStream",
     "RemoteTasmClient",
     "ResultStream",
+    "RetryPolicy",
     "ServerStats",
     "ShmTransport",
     "SocketTransport",

@@ -35,37 +35,55 @@ class TasmClient:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def submit(self, query: Query) -> ResultStream:
+    def submit(
+        self,
+        query: Query,
+        deadline_ms: float | None = None,
+        priority: int = 0,
+    ) -> ResultStream:
         """Enqueue a prepared Query; returns its stream immediately.
 
         Queries submitted through one client handle share one fairness slot
         in the scheduler's round-robin admission, so a handle that floods the
-        queue cannot crowd other clients out of every batch.
+        queue cannot crowd other clients out of every batch.  ``deadline_ms``
+        bounds the query end to end (it fails with
+        :class:`~repro.errors.DeadlineExceeded` once expired, even mid-batch);
+        ``priority`` orders load-shedding victims — lower sheds first.
         """
-        return self._server.submit(query, client=self)
+        return self._server.submit(
+            query, client=self, deadline_ms=deadline_ms, priority=priority
+        )
 
-    def execute(self, query: Query) -> ScanResult:
+    def execute(self, query: Query, deadline_ms: float | None = None) -> ScanResult:
         """Blocking execution of a prepared Query."""
-        return self.submit(query).result()
+        return self.submit(query, deadline_ms=deadline_ms).result()
 
     def scan(
         self,
         video_name: str,
         predicate: LabelPredicate | str | Sequence[str],
         temporal: TemporalPredicate | None = None,
+        deadline_ms: float | None = None,
+        priority: int = 0,
     ) -> ScanResult:
         """Blocking scan, mirroring ``TASM.scan``'s signature."""
-        return self.scan_streaming(video_name, predicate, temporal).result()
+        return self.scan_streaming(
+            video_name, predicate, temporal, deadline_ms=deadline_ms, priority=priority
+        ).result()
 
     def scan_streaming(
         self,
         video_name: str,
         predicate: LabelPredicate | str | Sequence[str],
         temporal: TemporalPredicate | None = None,
+        deadline_ms: float | None = None,
+        priority: int = 0,
     ) -> ResultStream:
         """Submit a scan and stream its results per SOT as they warm."""
         return self.submit(
-            self._server._build_query(video_name, predicate, temporal)
+            self._server._build_query(video_name, predicate, temporal),
+            deadline_ms=deadline_ms,
+            priority=priority,
         )
 
     # ------------------------------------------------------------------

@@ -26,6 +26,26 @@ drains it, so a slow client bounds the server's memory instead of growing an
 unbounded queue.  Terminal state (result or error) is stored on the stream
 itself rather than as a queue sentinel, so iterating a failed stream twice
 raises twice instead of blocking forever.
+
+Fault tolerance (PR 8) threads through every stage:
+
+* **Deadlines** — ``submit(deadline_ms=...)`` stamps the stream; expired
+  queries are dropped while still pending, and mid-batch the executor's
+  cancelled-probe doubles as a deadline probe so an expired query stops
+  costing decodes within ~one SOT and fails with
+  :class:`~repro.errors.DeadlineExceeded`.
+* **Load shedding** — ``submit`` fast-fails with
+  :class:`~repro.errors.ServerBusy` above ``service_max_queue_depth``, and a
+  :class:`~repro.service.shedding.QueueWaitBreaker` (fed by the queue-wait
+  histogram) sheds the lowest-priority, newest pending queries when the
+  recent queue-wait p95 crosses ``service_shed_queue_wait_ms``.
+* **Runner supervision** — a supervisor thread replaces crashed batch-runner
+  threads and recovers their orphaned batch: unaffected queries are requeued
+  at the *front* of their client's bucket (deadlines still honoured) and
+  resume skipping SOTs already delivered, so their bytes stay identical; a
+  query that has killed ``service_poison_query_kills`` runners is
+  quarantined with :class:`~repro.errors.PoisonQueryError` instead of being
+  allowed to take the pool down serially.
 """
 
 from __future__ import annotations
@@ -35,15 +55,23 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterator, Sequence
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
 from ..core.query import Query
 from ..core.scan import ScanRegion, ScanResult
-from ..errors import ServiceError, StreamCancelledError
+from ..errors import (
+    DeadlineExceeded,
+    PoisonQueryError,
+    ServerBusy,
+    ServiceError,
+    StreamCancelledError,
+)
 from ..exec.engine import BatchResult, PartialResult, QueryDone
+from ..faults.plan import FAULT_RUNNER_DEATH, InjectedRunnerDeath
 from ..obs import DISABLED, Observability
 from ..obs.trace import NULL_TRACE
 from ..video.codec import DecodeStats
+from .shedding import QueueWaitBreaker
 
 __all__ = ["BatchScheduler", "ResultStream", "StreamChunk"]
 
@@ -65,9 +93,11 @@ class ResultStream:
     Iterating yields :class:`StreamChunk` objects as the server serves each
     SOT (ending when the query completes); :meth:`result` blocks until the
     final :class:`~repro.core.scan.ScanResult` is ready.  If the batch the
-    query rode in failed, both raise :class:`ServiceError` — and keep raising
-    on every later attempt, because the terminal state lives on the stream
-    rather than in the chunk buffer.
+    query rode in failed, both raise :class:`ServiceError` (preserving the
+    failure's subclass — ``DeadlineExceeded``, ``ServerBusy``, ... — so
+    callers can branch on the outcome) — and keep raising on every later
+    attempt, because the terminal state lives on the stream rather than in
+    the chunk buffer.
 
     ``buffer_chunks`` bounds the undelivered chunks held for a slow consumer;
     a producer pushing into a full buffer suspends until the consumer drains
@@ -79,13 +109,36 @@ class ResultStream:
     iterator; consume a stream from one thread.
     """
 
-    def __init__(self, query: Query, buffer_chunks: int = 0):
+    def __init__(
+        self,
+        query: Query,
+        buffer_chunks: int = 0,
+        deadline_ms: float | None = None,
+        priority: int = 0,
+        skip_sots: Iterable[int] | None = None,
+    ):
         self.query = query
         self.submitted_at = time.perf_counter()
         #: The query's observability trace (``repro.obs``): the scheduler
         #: installs a live one at submit when observability is enabled; the
         #: shared null trace otherwise, so span recording never branches.
         self.trace = NULL_TRACE
+        #: Deadline, as submitted (milliseconds) and as a monotonic instant;
+        #: ``None`` (or a non-positive ``deadline_ms``) means no deadline.
+        self.deadline_ms = deadline_ms if deadline_ms and deadline_ms > 0 else None
+        self.deadline_at = (
+            None
+            if self.deadline_ms is None
+            else time.monotonic() + self.deadline_ms / 1000.0
+        )
+        #: Shedding rank: the breaker sheds *lower* priorities first, so a
+        #: higher number asks to survive overload longer.  Ties shed newest
+        #: first (queries near the front keep their sunk queue time).
+        self.priority = priority
+        #: SOT indices the submitter already holds (a reconnecting remote
+        #: client resuming an interrupted scan); the executor never serves
+        #: them again, keeping the delivered byte stream identical.
+        self.skip_sots: frozenset[int] = frozenset(skip_sots or ())
         #: Guard making the cancelled-query counter exactly-once per stream,
         #: whichever path (pending drop, mid-batch skip, failed-batch sweep)
         #: notices the cancellation first.  Written under the scheduler's
@@ -111,6 +164,22 @@ class ResultStream:
         #: Liveness probe installed by the scheduler at submit: waiters poll
         #: it so a crashed runner pool fails them loudly instead of hanging.
         self._liveness: Callable[[], bool] | None = None
+        #: The submitter's fairness key, kept so a supervisor recovering this
+        #: stream from a crashed runner can requeue it in the right bucket.
+        self._client: Hashable = None
+        #: SOT indices whose chunk this stream actually buffered, and the
+        #: regions those chunks carried — the resume bookkeeping.  Appended
+        #: by the producing runner; read when the stream re-enters a batch
+        #: (never concurrently with a producer — a stream rides one batch at
+        #: a time).
+        self._delivered_sots: set[int] = set()
+        self._served_regions: list[ScanRegion] = []
+        #: Regions served by earlier (crashed or failed) runs of this query,
+        #: captured at requeue; ``_finish`` prepends them so the final
+        #: ``ScanResult`` carries every region despite the interruption.
+        self._prior_regions: list[ScanRegion] = []
+        #: Batch runners this query's execution has killed (supervision).
+        self._runner_kills = 0
 
     # ------------------------------------------------------------------
     # Producer side (batch runner threads)
@@ -134,12 +203,20 @@ class ResultStream:
             if self.first_chunk_at is None:
                 self.first_chunk_at = time.perf_counter()
             self._buffer.append(chunk)
+            self._delivered_sots.add(chunk.sot_index)
+            self._served_regions.extend(chunk.regions)
             self._cond.notify_all()
 
     def _finish(self, result: ScanResult) -> None:
         with self._cond:
             if self._done.is_set():
                 return  # already failed (shutdown / disconnect); first wins
+            if self._prior_regions:
+                # A resumed run only re-served the SOTs the interruption cut
+                # off; splice the earlier runs' regions back in front.  SOTs
+                # serve in ascending order, so prior ∥ resumed is the same
+                # order an uninterrupted run would have produced.
+                result.regions[:0] = self._prior_regions
             self._result = result
             self.completed_at = time.perf_counter()
             self._done.set()
@@ -157,6 +234,16 @@ class ResultStream:
             # (it re-checks the terminal flag and drops its chunk).
             self._cond.notify_all()
             return True
+
+    def expired(self) -> bool:
+        """True once this stream's deadline (if any) has elapsed."""
+        return self.deadline_at is not None and time.monotonic() >= self.deadline_at
+
+    def _sots_to_skip(self) -> frozenset[int] | None:
+        """SOT indices a (re)execution of this query must not serve again."""
+        if self.skip_sots or self._delivered_sots:
+            return self.skip_sots | self._delivered_sots
+        return None
 
     # ------------------------------------------------------------------
     # Consumer side (client thread)
@@ -177,6 +264,40 @@ class ResultStream:
         if self._fail(StreamCancelledError("stream closed by its consumer")):
             self._closed_by_consumer = True
 
+    def _terminal_error(self) -> ServiceError:
+        """The exception consumers raise for this stream's failure.
+
+        Preserves the failure's :class:`ServiceError` subclass (deadline,
+        busy, poison, cancelled...) so callers can branch on the outcome
+        without string-matching; falls back to plain ``ServiceError`` for
+        foreign exception types or subclasses with exotic constructors.
+        """
+        error = self._error
+        message = f"query failed in its batch: {error}"
+        cls = type(error) if isinstance(error, ServiceError) else ServiceError
+        try:
+            return cls(message)
+        except Exception:  # noqa: BLE001 — a ctor needing extra args
+            return ServiceError(message)
+
+    def _starved_stage(self) -> str:
+        """Which pipeline stage a timed-out waiter is starved in.
+
+        Built from the stream's own progress markers (and trace spans when
+        observability is on), so a ``result(timeout=...)`` failure says
+        *where* the query is stuck — still queued, executing but yet to
+        serve, or mid-serve — instead of just that it is late.
+        """
+        if not self._queue_span_recorded and self.first_chunk_at is None:
+            return "starved in queue: the query never entered a batch"
+        served = len(self._delivered_sots)
+        if served:
+            return (
+                f"starved in execute: its batch has served {served} SOT "
+                "chunk(s) but has not finished"
+            )
+        return "starved in execute: its batch started but has served nothing"
+
     def __iter__(self) -> Iterator[StreamChunk]:
         while True:
             with self._cond:
@@ -188,9 +309,7 @@ class ResultStream:
                     self._cond.notify_all()  # free a suspended producer
                 else:
                     if self._error is not None:
-                        raise ServiceError(
-                            f"query failed in its batch: {self._error}"
-                        ) from self._error
+                        raise self._terminal_error() from self._error
                     return
             yield chunk
 
@@ -201,7 +320,8 @@ class ResultStream:
         that would complete this query are gone (a crashed runner pool, a
         scheduler torn down without failing its streams), ``result()`` raises
         :class:`ServiceError` promptly — even with ``timeout=None`` — instead
-        of blocking on a completion that can never arrive.
+        of blocking on a completion that can never arrive.  A timeout's
+        message names the stage the query starved in (queue vs execute).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
@@ -214,7 +334,8 @@ class ResultStream:
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     raise ServiceError(
-                        f"query did not complete within {timeout} seconds"
+                        f"query did not complete within {timeout} seconds "
+                        f"({self._starved_stage()})"
                     )
                 tick = (
                     _LIVENESS_TICK_SECONDS
@@ -224,9 +345,7 @@ class ResultStream:
                 self._cond.wait(tick)
                 self._check_liveness()
             if self._error is not None:
-                raise ServiceError(
-                    f"query failed in its batch: {self._error}"
-                ) from self._error
+                raise self._terminal_error() from self._error
             assert self._result is not None
             return self._result
 
@@ -276,6 +395,10 @@ _SHUTDOWN = object()
 #: wakes waiters via the condition, not the tick.
 _LIVENESS_TICK_SECONDS = 0.5
 
+#: How often the supervisor sweeps the runner pool for crashed threads: the
+#: recovery latency a killed runner adds to its orphaned queries.
+_SUPERVISOR_TICK_SECONDS = 0.05
+
 
 class BatchScheduler:
     """Owns the request queues, the batch-forming loop, and the runner pool."""
@@ -290,6 +413,10 @@ class BatchScheduler:
         on_query_done: Callable[[Query, ScanResult], None] | None = None,
         on_batch_done: Callable[[BatchResult], None] | None = None,
         obs: Observability | None = None,
+        max_queue_depth: int = 0,
+        shed_queue_wait_ms: float = 0.0,
+        poison_query_kills: int = 3,
+        fault_plan=None,
     ):
         self._tasm = tasm
         self._obs = obs if obs is not None else DISABLED
@@ -299,6 +426,20 @@ class BatchScheduler:
         self._stream_buffer_chunks = stream_buffer_chunks
         self._on_query_done = on_query_done
         self._on_batch_done = on_batch_done
+        self._max_queue_depth = max(0, max_queue_depth)
+        self._poison_kills = max(1, poison_query_kills)
+        self._fault_runner_death = (
+            fault_plan.site(FAULT_RUNNER_DEATH) if fault_plan is not None else None
+        )
+        # The latency breaker reads the queue-wait histogram's snapshots; it
+        # needs observability on (the histogram is otherwise a no-op that
+        # never accumulates a window).
+        self._breaker: QueueWaitBreaker | None = None
+        if shed_queue_wait_ms > 0 and self._obs.enabled:
+            self._breaker = QueueWaitBreaker(
+                self._obs.queue_wait_seconds.snapshot_value,
+                threshold_seconds=shed_queue_wait_ms / 1000.0,
+            )
         # Pending queries, kept per client for round-robin admission.  The
         # condition guards the pending structures and the in-flight set.
         self._cond = threading.Condition()
@@ -313,8 +454,18 @@ class BatchScheduler:
         self._batches: queue.Queue = queue.Queue(maxsize=self._runner_count)
         self._collector: threading.Thread | None = None
         self._runners: list[threading.Thread] = []
+        self._supervisor: threading.Thread | None = None
         self._running = False
         self._state_lock = threading.Lock()
+        # The batch each runner thread is currently executing, keyed by
+        # thread ident — the supervisor's recovery map.  An entry is removed
+        # by the runner on every survivable exit from _execute; a crashed
+        # runner leaves its entry for the supervisor to claim (and the claim
+        # happens *before* its replacement starts, so a recycled ident can
+        # never alias a live runner's batch).
+        self._active_lock = threading.Lock()
+        self._active: dict[int, Sequence[ResultStream]] = {}
+        self._restart_seq = 0
         # Counters (read by TasmServer.stats; written under _counter_lock by
         # any runner thread).
         self._counter_lock = threading.Lock()
@@ -324,6 +475,14 @@ class BatchScheduler:
         #: wire ``CANCEL``) before completing — dropped while pending or
         #: skipped mid-batch.
         self.queries_cancelled = 0
+        # Fault-tolerance outcomes, mirrored as plain ints so tests and
+        # stats() see them with observability off.
+        self.queries_deadline_exceeded = 0
+        self.queries_shed = 0
+        self.queries_quarantined = 0
+        self.runner_restarts = 0
+        #: Submissions that carried ``skip_sots`` — resumed scans.
+        self.scan_resumes = 0
         self.total_stats = DecodeStats()
 
     # ------------------------------------------------------------------
@@ -333,7 +492,7 @@ class BatchScheduler:
         with self._state_lock:
             if self._running:
                 return
-            stale = [self._collector, *self._runners]
+            stale = [self._collector, self._supervisor, *self._runners]
             if any(thread is not None and thread.is_alive() for thread in stale):
                 # A previous stop() timed out mid-batch; a second crew on the
                 # same queues would race it and its drain.
@@ -342,6 +501,7 @@ class BatchScheduler:
                 )
             self._running = True
             self._batches = queue.Queue(maxsize=self._runner_count)
+            self._active = {}
             self._runners = [
                 threading.Thread(
                     target=self._run_batches,
@@ -356,6 +516,12 @@ class BatchScheduler:
                 target=self._run_collector, name="tasm-batch-collector", daemon=True
             )
             self._collector.start()
+            self._supervisor = threading.Thread(
+                target=self._run_supervisor,
+                name="tasm-runner-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
 
     def stop(self, timeout: float | None = 10.0) -> None:
         with self._state_lock:
@@ -366,6 +532,7 @@ class BatchScheduler:
             # by a runner or failed below — no silent hangs.
             self._running = False
             collector = self._collector
+            supervisor = self._supervisor
             runners = list(self._runners)
         queued: list[ResultStream] = []
         with self._cond:
@@ -388,12 +555,14 @@ class BatchScheduler:
             thread.join(remaining)
 
         _join(collector)
+        _join(supervisor)
         for runner in runners:
             _join(runner)
         # Anything still in flight after the drain deadline belongs to a
-        # runner stuck mid-batch: fail the streams so consumers unblock (the
-        # runner's eventual terminal transitions are ignored — first wins),
-        # which also releases producers suspended on full buffers.
+        # runner stuck mid-batch — or to a runner that crashed after the
+        # supervisor already exited: fail the streams so consumers unblock
+        # (the runner's eventual terminal transitions are ignored — first
+        # wins), which also releases producers suspended on full buffers.
         with self._cond:
             stragglers = [stream for stream in self._in_flight if not stream.done]
         for stream in stragglers:
@@ -407,18 +576,21 @@ class BatchScheduler:
         """True while the threads that could still complete a stream exist.
 
         Liveness for waiters: a collector that died, or a runner pool with no
-        surviving thread, can never complete an accepted query — blocked
-        ``result()`` calls must raise rather than wait forever.  A scheduler
-        driven without threads (tests poke ``_running`` directly) reports
-        alive; it has no pool to crash.
+        surviving thread *and* no supervisor to rebuild it, can never
+        complete an accepted query — blocked ``result()`` calls must raise
+        rather than wait forever.  A scheduler driven without threads (tests
+        poke ``_running`` directly) reports alive; it has no pool to crash.
         """
         collector = self._collector
         runners = self._runners
         if collector is None or not runners:
             return True
-        return collector.is_alive() and any(
-            runner.is_alive() for runner in runners
-        )
+        if not collector.is_alive():
+            return False
+        supervisor = self._supervisor
+        if supervisor is not None and supervisor.is_alive():
+            return True  # dead runners are about to be replaced
+        return any(runner.is_alive() for runner in runners)
 
     @property
     def queue_depth(self) -> int:
@@ -429,20 +601,57 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, query: Query, client: Hashable = None) -> ResultStream:
+    def submit(
+        self,
+        query: Query,
+        client: Hashable = None,
+        deadline_ms: float | None = None,
+        priority: int = 0,
+        skip_sots: Iterable[int] | None = None,
+    ) -> ResultStream:
         """Enqueue a query; ``client`` identifies the submitter for fairness.
 
         All queries submitted under one ``client`` key share one round-robin
         slot per batch; anonymous submitters (``client=None``) share a single
         slot between them.
+
+        ``deadline_ms`` bounds the query's total latency (queue + execute);
+        ``priority`` ranks it for overload shedding (higher survives longer);
+        ``skip_sots`` resumes an interrupted scan — the listed SOT indices
+        are never served again.  Raises :class:`~repro.errors.ServerBusy`
+        immediately — before allocating a stream or trace — when the pending
+        queue is at ``service_max_queue_depth``.
         """
-        stream = ResultStream(query, buffer_chunks=self._stream_buffer_chunks)
-        stream._liveness = self._workers_alive
-        stream.trace = self._obs.start_trace(query)
         with self._state_lock:
             if not self._running:
                 raise ServiceError("the server is not running")
             with self._cond:
+                if (
+                    self._max_queue_depth
+                    and self._pending_count >= self._max_queue_depth
+                ):
+                    with self._counter_lock:
+                        self.queries_shed += 1
+                    self._obs.queries_shed.labels(reason="queue_full").inc()
+                    raise ServerBusy(
+                        f"SERVER_BUSY: {self._pending_count} queries pending "
+                        f"(service_max_queue_depth="
+                        f"{self._max_queue_depth}); retry later"
+                    )
+                stream = ResultStream(
+                    query,
+                    buffer_chunks=self._stream_buffer_chunks,
+                    deadline_ms=deadline_ms,
+                    priority=priority,
+                    skip_sots=skip_sots,
+                )
+                stream._liveness = self._workers_alive
+                stream._client = client
+                stream.trace = self._obs.start_trace(query)
+                if stream.skip_sots:
+                    with self._counter_lock:
+                        self.scan_resumes += 1
+                    self._obs.scan_retries.inc()
                 bucket = self._pending.get(client)
                 if bucket is None:
                     bucket = self._pending[client] = deque()
@@ -463,6 +672,7 @@ class BatchScheduler:
                     self._cond.wait()
                 if not self._running:
                     break
+            self._shed_if_overloaded()
             batch = self._collect()
             if batch:
                 # May block while every runner is busy and the handoff queue
@@ -494,8 +704,10 @@ class BatchScheduler:
         Each rotation takes one query from each client with pending work, so
         every waiting client lands in the next batch before any client gets a
         second slot; remaining capacity goes around again (a lone client may
-        still fill the whole batch).
+        still fill the whole batch).  Queries whose deadline elapsed while
+        they waited are failed here — they never cost a batch slot.
         """
+        expired: list[ResultStream] = []
         while len(batch) < self._max_batch and self._pending_order:
             client = self._pending_order.popleft()
             bucket = self._pending[client]
@@ -507,12 +719,65 @@ class BatchScheduler:
                 # costs a batch slot or a decode.
                 if stream.cancelled:
                     self._count_cancel(stream)
+            elif stream.expired():
+                expired.append(stream)
             else:
                 batch.append(stream)
             if bucket:
                 self._pending_order.append(client)
             else:
                 del self._pending[client]
+        for stream in expired:
+            self._deadline_stream(stream)
+
+    def _shed_if_overloaded(self) -> None:
+        """Consult the queue-wait breaker; shed pending queries if it trips.
+
+        Victims are chosen lowest priority first, newest first within a
+        priority, until the backlog is halved (or down to half the depth
+        bound, when one is configured) — the cheapest promises to break.
+        Runs on the collector thread, between batches.
+        """
+        breaker = self._breaker
+        if breaker is None or not breaker.should_shed():
+            return
+        doomed: list[ResultStream] = []
+        with self._cond:
+            if self._pending_count == 0:
+                return
+            target = (
+                self._max_queue_depth // 2
+                if self._max_queue_depth
+                else self._pending_count // 2
+            )
+            excess = self._pending_count - target
+            if excess <= 0:
+                return
+            flat = [
+                stream
+                for bucket in self._pending.values()
+                for stream in bucket
+                if not stream.done
+            ]
+            flat.sort(key=lambda stream: (stream.priority, -stream.submitted_at))
+            doomed = flat[:excess]
+            doomed_set = set(doomed)
+            for client in list(self._pending):
+                kept = deque(
+                    stream
+                    for stream in self._pending[client]
+                    if stream not in doomed_set
+                )
+                if kept:
+                    self._pending[client] = kept
+                else:
+                    del self._pending[client]
+            self._pending_order = deque(
+                client for client in self._pending_order if client in self._pending
+            )
+            self._pending_count -= len(doomed)
+        for stream in doomed:
+            self._shed_stream(stream, breaker.last_percentile)
 
     # ------------------------------------------------------------------
     # Batch execution (runner threads)
@@ -532,10 +797,53 @@ class BatchScheduler:
             self.queries_cancelled += 1
         self._obs.finish_query(stream.trace, status="cancelled")
 
-    def _fail_stream(self, stream: ResultStream, error: BaseException) -> None:
+    def _fail_stream(
+        self, stream: ResultStream, error: BaseException, status: str = "error"
+    ) -> bool:
         """Fail one stream and finish its trace; first terminal state wins."""
         if stream._fail(error):
-            self._obs.finish_query(stream.trace, status="error")
+            self._obs.finish_query(stream.trace, status=status)
+            return True
+        return False
+
+    def _deadline_stream(self, stream: ResultStream) -> None:
+        """Fail one stream with DeadlineExceeded (idempotent, counted once)."""
+        if self._fail_stream(
+            stream,
+            DeadlineExceeded(
+                f"query exceeded its deadline of {stream.deadline_ms:g} ms"
+            ),
+            status="deadline",
+        ):
+            with self._counter_lock:
+                self.queries_deadline_exceeded += 1
+
+    def _shed_stream(self, stream: ResultStream, percentile: float | None) -> None:
+        """Fail one pending stream shed by the queue-wait breaker."""
+        wait = "unknown" if percentile is None else f"{percentile * 1000.0:.0f} ms"
+        if self._fail_stream(
+            stream,
+            ServerBusy(
+                "SERVER_BUSY: shed by the queue-wait breaker "
+                f"(recent p95 queue wait {wait}); retry later"
+            ),
+            status="shed",
+        ):
+            with self._counter_lock:
+                self.queries_shed += 1
+
+    def _quarantine_stream(self, stream: ResultStream) -> None:
+        """Fail one stream that has crashed too many runners."""
+        if self._fail_stream(
+            stream,
+            PoisonQueryError(
+                f"query killed {stream._runner_kills} batch runner(s) and is "
+                "quarantined"
+            ),
+            status="quarantined",
+        ):
+            with self._counter_lock:
+                self.queries_quarantined += 1
 
     def _make_trace_sink(self, batch: Sequence[ResultStream]):
         """The callback the executor reports stage timings through.
@@ -556,12 +864,22 @@ class BatchScheduler:
         return sink
 
     def _run_batches(self) -> None:
+        ident = threading.get_ident()
         while True:
             item = self._batches.get()
             if item is _SHUTDOWN:
                 return
+            with self._active_lock:
+                self._active[ident] = item
             try:
                 self._execute(item)
+            except InjectedRunnerDeath:
+                # A simulated crash: die like the real thing — leave the
+                # batch in _active and _in_flight for the supervisor to
+                # recover, and take this thread down.  A plain return (not a
+                # re-raise) so the harness's unhandled-thread-exception hook
+                # stays quiet; the observable state is identical either way.
+                return
             except BaseException as error:  # noqa: BLE001 — keep the runner alive
                 # _execute fails offending streams itself; anything escaping
                 # it (a terminal-transition bug, a callback raising) must not
@@ -570,11 +888,95 @@ class BatchScheduler:
                 for stream in item:
                     if not stream.done:
                         self._fail_stream(stream, error)
-            finally:
-                with self._cond:
-                    self._in_flight.difference_update(item)
+            # Survivable exits only (a death above skips this): the batch is
+            # fully dispositioned, so drop it from the recovery map and the
+            # in-flight set.
+            with self._active_lock:
+                self._active.pop(ident, None)
+            with self._cond:
+                self._in_flight.difference_update(item)
+
+    # ------------------------------------------------------------------
+    # Runner supervision (supervisor thread)
+    # ------------------------------------------------------------------
+    def _run_supervisor(self) -> None:
+        """Replace crashed batch-runner threads and recover their batches."""
+        while True:
+            time.sleep(_SUPERVISOR_TICK_SECONDS)
+            orphans: list[Sequence[ResultStream] | None] = []
+            with self._state_lock:
+                if not self._running:
+                    return
+                for index, runner in enumerate(self._runners):
+                    if runner.is_alive() or runner.ident is None:
+                        continue
+                    # Claim the dead runner's batch *before* its replacement
+                    # starts: thread idents recycle, so a replacement that
+                    # reused this ident must never see a stale entry.
+                    with self._active_lock:
+                        orphan = self._active.pop(runner.ident, None)
+                    self._restart_seq += 1
+                    replacement = threading.Thread(
+                        target=self._run_batches,
+                        name=f"tasm-batch-runner-{index}~r{self._restart_seq}",
+                        daemon=True,
+                    )
+                    self._runners[index] = replacement
+                    replacement.start()
+                    orphans.append(orphan)
+            for orphan in orphans:
+                with self._counter_lock:
+                    self.runner_restarts += 1
+                self._obs.runner_restarts.inc()
+                if orphan is not None:
+                    self._recover_batch(orphan)
+
+    def _recover_batch(self, batch: Sequence[ResultStream]) -> None:
+        """Disposition a crashed runner's batch.
+
+        Completed and cancelled streams need nothing; a stream that has now
+        killed ``service_poison_query_kills`` runners is quarantined; expired
+        ones fail with their deadline; everything else is requeued at the
+        *front* of its client's bucket (it has waited longest) with its
+        served regions captured, so the resumed run skips delivered SOTs and
+        the final result is byte-identical to an uninterrupted one.
+        """
+        resumable: list[ResultStream] = []
+        for stream in batch:
+            if stream.done:
+                if stream.cancelled:
+                    self._count_cancel(stream)
+                continue
+            stream._runner_kills += 1
+            if stream._runner_kills >= self._poison_kills:
+                self._quarantine_stream(stream)
+            elif stream.expired():
+                self._deadline_stream(stream)
+            else:
+                stream._prior_regions = list(stream._served_regions)
+                resumable.append(stream)
+        doomed: list[ResultStream] = []
+        with self._cond:
+            self._in_flight.difference_update(batch)
+            if not self._running:
+                doomed = resumable
+            else:
+                # appendleft in reverse keeps the batch's relative order.
+                for stream in reversed(resumable):
+                    bucket = self._pending.get(stream._client)
+                    if bucket is None:
+                        bucket = self._pending[stream._client] = deque()
+                        self._pending_order.append(stream._client)
+                    bucket.appendleft(stream)
+                    self._pending_count += 1
+                self._cond.notify_all()
+        for stream in doomed:
+            self._fail_stream(stream, ServiceError("the server was stopped"))
 
     def _execute(self, batch: Sequence[ResultStream]) -> None:
+        fault_death = self._fault_runner_death
+        if fault_death is not None and fault_death.should_fire():
+            raise InjectedRunnerDeath("injected runner death before batch start")
         obs = self._obs
         batch_started = time.perf_counter()
         if obs.enabled:
@@ -593,6 +995,10 @@ class BatchScheduler:
                 batch[event.query_index]._push_chunk(
                     StreamChunk(sot_index=event.sot_index, regions=event.regions)
                 )
+                if fault_death is not None and fault_death.should_fire():
+                    raise InjectedRunnerDeath(
+                        "injected runner death mid-batch (after a served SOT)"
+                    )
             elif isinstance(event, QueryDone):
                 stream = batch[event.query_index]
                 if self._on_query_done is not None:
@@ -606,18 +1012,35 @@ class BatchScheduler:
                 if not stream.cancelled:
                     obs.finish_query(stream.trace)
 
+        def cancelled(index: int) -> bool:
+            # The executor's per-SOT probe doubles as the deadline enforcer:
+            # an expired query fails *here*, mid-batch, and the executor
+            # skips its remaining serves (and whole SOTs only it wanted).
+            stream = batch[index]
+            if stream.done:
+                return True
+            if stream.expired():
+                self._deadline_stream(stream)
+                return True
+            return False
+
+        skips = [stream._sots_to_skip() for stream in batch]
+
         try:
             result = self._tasm.execute_batch(
                 [stream.query for stream in batch],
                 observer=observer,
                 # A terminal stream (cancelled by its consumer, failed at
-                # shutdown, abandoned by a dead connection) wants no further
-                # work: the executor skips its remaining per-SOT serves and
-                # whole SOTs only it needed, freeing the runner within ~one
-                # GOP of the cancel.
-                cancelled=lambda index: batch[index].done,
+                # shutdown or deadline, abandoned by a dead connection) wants
+                # no further work: the executor skips its remaining per-SOT
+                # serves and whole SOTs only it needed, freeing the runner
+                # within ~one GOP of the cancel.
+                cancelled=cancelled,
                 trace_sink=trace_sink,
+                skip_sots=skips if any(skips) else None,
             )
+        except InjectedRunnerDeath:
+            raise
         except BaseException as error:  # noqa: BLE001 — must fail the waiters
             # One bad query (unknown video, malformed predicate) must not
             # poison the batch it rode in with: retry untouched queries
@@ -645,9 +1068,12 @@ class BatchScheduler:
                     self._execute([stream])
             return
         cancelled_in_batch = [stream for stream in batch if stream.cancelled]
+        completed_in_batch = sum(
+            1 for stream in batch if stream._result is not None
+        )
         with self._counter_lock:
             self.batches_executed += 1
-            self.queries_completed += len(batch) - len(cancelled_in_batch)
+            self.queries_completed += completed_in_batch
             self.total_stats.merge(result.stats)
         for stream in cancelled_in_batch:
             self._count_cancel(stream)

@@ -157,6 +157,10 @@ class TasmServer:
             stream_buffer_chunks=tasm.config.service_stream_buffer_chunks,
             on_query_done=self._record_query_done,
             obs=self.obs,
+            max_queue_depth=tasm.config.service_max_queue_depth,
+            shed_queue_wait_ms=tasm.config.service_shed_queue_wait_ms,
+            poison_query_kills=tasm.config.service_poison_query_kills,
+            fault_plan=tasm.config.fault_plan,
         )
         self._started_at: float | None = None
         self._stats_lock = threading.Lock()
@@ -225,7 +229,14 @@ class TasmServer:
     # ------------------------------------------------------------------
     # The read path: queries
     # ------------------------------------------------------------------
-    def submit(self, query: Query, client: object = None) -> ResultStream:
+    def submit(
+        self,
+        query: Query,
+        client: object = None,
+        deadline_ms: float | None = None,
+        priority: int = 0,
+        skip_sots: Iterable[int] | None = None,
+    ) -> ResultStream:
         """Enqueue a query; returns immediately with its result stream.
 
         ``client`` identifies the submitter for the scheduler's round-robin
@@ -234,8 +245,20 @@ class TasmServer:
         :class:`~repro.service.client.TasmClient` handles and socket
         connections each pass themselves; ``None`` pools anonymous callers
         into one shared slot.
+
+        ``deadline_ms`` bounds the query's total latency, ``priority`` ranks
+        it for overload shedding, and ``skip_sots`` resumes an interrupted
+        scan (see :meth:`BatchScheduler.submit`).  Raises
+        :class:`~repro.errors.ServerBusy` when the pending queue is at
+        ``service_max_queue_depth``.
         """
-        stream = self._scheduler.submit(query, client=client)  # may refuse
+        stream = self._scheduler.submit(
+            query,
+            client=client,
+            deadline_ms=deadline_ms,
+            priority=priority,
+            skip_sots=skip_sots,
+        )  # may refuse (ServerBusy)
         with self._stats_lock:
             self._queries_submitted += 1
         return stream

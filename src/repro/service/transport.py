@@ -68,19 +68,35 @@ from __future__ import annotations
 
 import json
 import queue
+import random
 import socket
 import struct
 import threading
 import time
 import warnings
 from collections import deque
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
 from ..core.predicates import TemporalPredicate
 from ..core.scan import ScanRegion, ScanResult
-from ..errors import ProtocolError, ServiceError, StreamCancelledError, TransportError
+from ..errors import (
+    ProtocolError,
+    ServiceError,
+    StreamCancelledError,
+    TransportError,
+    error_code,
+    error_from_code,
+)
+from ..faults.plan import (
+    FAULT_CONSUMER_SKEW,
+    FAULT_SHM_ATTACH,
+    FAULT_TRANSPORT_CUT,
+    FAULT_TRANSPORT_DELAY,
+    FAULT_TRANSPORT_DROP,
+)
 from ..obs import DISABLED
 from ..geometry import Rectangle
 from ..video.codec import DecodeStats
@@ -95,6 +111,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "RemoteScanStream",
     "RemoteTasmClient",
+    "RetryPolicy",
     "ShmTransport",
     "SocketTransport",
 ]
@@ -544,6 +561,12 @@ class SocketTransport:
         self._shm_ring_bytes = max(0, shm_ring_bytes)
         buffer = server.tasm.config.service_stream_buffer_chunks
         self._outbox_frames = buffer if buffer > 0 else _DEFAULT_WIRE_BUFFER
+        #: Accepted sockets must complete a first frame (the hello) within
+        #: this bound or be closed — an idle or wedged peer cannot pin a
+        #: connection's reader thread forever.  0 disables the bound.
+        self._handshake_timeout = max(
+            0.0, server.tasm.config.service_handshake_timeout_s
+        )
 
     def start(self) -> "SocketTransport":
         if self._running:
@@ -595,7 +618,9 @@ class SocketTransport:
                 continue
             except OSError:
                 return  # listener closed
-            sock.settimeout(None)
+            # Bound the hello: the connection reader clears the timeout once
+            # the first complete frame lands (see _Connection.serve).
+            sock.settimeout(self._handshake_timeout or None)
             _disable_nagle(sock)
             connection = _Connection(
                 self._server, sock, self._outbox_frames, self._shm_ring_bytes
@@ -661,6 +686,12 @@ class _Connection:
         self._cancelled: set[int] = set()
         self._shm_ring_bytes = shm_ring_bytes
         self._shm_ring: _ShmRing | None = None
+        # Server-side transport fault injection (``TasmConfig.fault_plan``):
+        # consulted per outgoing frame by the writer, no-ops when unset.
+        plan = getattr(server.tasm.config, "fault_plan", None)
+        self._fault_drop = plan.site(FAULT_TRANSPORT_DROP) if plan else None
+        self._fault_cut = plan.site(FAULT_TRANSPORT_CUT) if plan else None
+        self._fault_delay = plan.site(FAULT_TRANSPORT_DELAY) if plan else None
         self._writer = threading.Thread(
             target=self._write_loop, name="tasm-socket-writer", daemon=True
         )
@@ -670,11 +701,23 @@ class _Connection:
     # Reader side (the connection's main thread)
     # ------------------------------------------------------------------
     def serve(self) -> None:
+        awaiting_first_frame = True
         try:
             while not self._closing.is_set():
-                frame = recv_frame(self._sock)
+                try:
+                    frame = recv_frame(self._sock)
+                except socket.timeout:
+                    # Only the pre-hello window carries a socket timeout (the
+                    # accept loop set it; it is cleared below): a peer that
+                    # never completed a first frame is cut loose, counted.
+                    if awaiting_first_frame:
+                        self._obs.handshakes_timed_out.inc()
+                    return
                 if frame is None:
                     return
+                if awaiting_first_frame:
+                    awaiting_first_frame = False
+                    self._sock.settimeout(None)
                 kind, payload = frame
                 if kind == KIND_JSON:
                     message = json.loads(bytes(payload).decode("utf-8"))
@@ -683,13 +726,15 @@ class _Connection:
                     except _ConnectionClosed:
                         return
                     except Exception as error:  # noqa: BLE001 — report, keep serving
-                        self._reply(
-                            {
-                                "type": "error",
-                                "id": message.get("id"),
-                                "message": str(error),
-                            }
-                        )
+                        reply = {
+                            "type": "error",
+                            "id": message.get("id"),
+                            "message": str(error),
+                        }
+                        code = error_code(error)
+                        if code is not None:
+                            reply["code"] = code
+                        self._reply(reply)
                 elif kind == KIND_CREDIT:
                     query_id, granted = _CREDIT_FRAME.unpack(payload)
                     self._grant_credit(query_id, granted)
@@ -756,6 +801,8 @@ class _Connection:
                     "traces": self._server.traces(int(message.get("last", 16))),
                 }
             )
+        elif op == "query_status":
+            self._reply(self._query_status(query_id, message.get("target_id")))
         else:
             self._reply({"type": "error", "id": query_id, "message": f"unknown op {op!r}"})
 
@@ -804,7 +851,13 @@ class _Connection:
             temporal,
         )
         credits = int(message.get("credits", 0) or 0)
-        stream = self._server.submit(query, client=self)
+        stream = self._server.submit(
+            query,
+            client=self,
+            deadline_ms=message.get("deadline_ms"),
+            priority=int(message.get("priority", 0) or 0),
+            skip_sots=message.get("skip_sots") or None,
+        )
         with self._scans_lock:
             self._scans[query_id] = stream
         with self._flow:
@@ -815,6 +868,35 @@ class _Connection:
             name="tasm-socket-pump",
             daemon=True,
         ).start()
+
+    def _query_status(self, request_id: int, target_id) -> dict:
+        """Which pipeline stage one of this connection's scans is in.
+
+        Best-effort introspection for starved clients: ``queue`` (accepted,
+        not yet in a running batch), ``execute`` (its batch started, judged
+        by the queue span or a first chunk), ``wire`` (finished server-side,
+        its pump still delivering), or ``unknown`` (finished, cancelled, or
+        never seen).  With observability off the queue/execute boundary is
+        only visible once a chunk is pushed.
+        """
+        with self._scans_lock:
+            stream = self._scans.get(target_id)
+        if stream is None:
+            return {"type": "status", "id": request_id, "stage": "unknown",
+                    "delivered": 0}
+        delivered = len(getattr(stream, "_delivered_sots", ()) or ())
+        if stream.done:
+            stage = "wire"
+        elif stream.first_chunk_at is not None or stream._queue_span_recorded:
+            stage = "execute"
+        else:
+            stage = "queue"
+        return {
+            "type": "status",
+            "id": request_id,
+            "stage": stage,
+            "delivered": delivered,
+        }
 
     def _grant_credit(self, query_id: int, granted: int) -> None:
         with self._flow:
@@ -853,9 +935,18 @@ class _Connection:
                 return  # the client walked away; it awaits no reply
             except ServiceError as error:
                 if not self._is_cancelled(query_id):
-                    self._reply(
-                        {"type": "error", "id": query_id, "message": str(error)}
-                    )
+                    reply = {
+                        "type": "error",
+                        "id": query_id,
+                        "message": str(error),
+                    }
+                    # A typed failure (deadline, busy, poison, cancelled)
+                    # crosses the wire as a code so the client re-raises the
+                    # same exception class, not a generic ServiceError.
+                    code = error_code(error)
+                    if code is not None:
+                        reply["code"] = code
+                    self._reply(reply)
                 return
             # Detail span on the (already finished) trace: time this pump
             # spent delivering the scan's chunks over the wire.  Trace
@@ -975,11 +1066,31 @@ class _Connection:
         self._outbox.put((_FRAME_HEADER.pack(kind, len(payload)), payload))
 
     def _write_loop(self) -> None:
+        fault_drop = self._fault_drop
+        fault_cut = self._fault_cut
+        fault_delay = self._fault_delay
         while True:
             frame = self._outbox.get()
             if frame is None:
                 return
             header, payload = frame
+            # Injected transport faults (deterministic, per outgoing frame):
+            # a delay models a congested wire, a drop kills the connection
+            # before the frame, a cut kills it *mid-frame* — the client must
+            # read that as TransportError, never as a clean EOF.
+            if fault_delay is not None and fault_delay.should_fire():
+                time.sleep(fault_delay.delay_seconds)
+            if fault_drop is not None and fault_drop.should_fire():
+                self.close()
+                return
+            if fault_cut is not None and fault_cut.should_fire() and payload:
+                try:
+                    self._sock.sendall(header)
+                    self._sock.sendall(payload[: max(1, len(payload) // 2)])
+                except OSError:
+                    pass
+                self.close()
+                return
             try:
                 self._sock.sendall(header)
                 self._sock.sendall(payload)
@@ -1013,6 +1124,35 @@ class _Connection:
 # ----------------------------------------------------------------------
 # Client side
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Reconnect policy for :class:`RemoteTasmClient`.
+
+    On a wire failure the client's reader re-dials the server up to
+    ``attempts`` times with capped exponential backoff
+    (``base_delay * 2**attempt``, bounded by ``max_delay``) plus
+    proportional jitter (up to ``jitter`` of the delay, so a fleet of
+    clients does not re-dial in lockstep).  ``seed`` pins the jitter for
+    deterministic tests; None draws from system entropy.
+
+    In-flight scans survive a successful reconnect: each is resubmitted with
+    ``skip_sots`` naming the chunks already delivered, so the resumed stream
+    carries on from where it was cut, byte-identical.  Blocking
+    request/response calls (stats, add_metadata) in flight at the failure
+    fail instead — whether the server processed them is unknowable.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def delay(self, attempt: int, rng: "random.Random") -> float:
+        bounded = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        return bounded * (1.0 + self.jitter * rng.random())
+
+
 class RemoteScanStream:
     """Client-side mirror of :class:`ResultStream` over the socket protocol.
 
@@ -1040,11 +1180,21 @@ class RemoteScanStream:
         self._result: ScanResult | None = None
         self._error: BaseException | None = None
         self._finished = False
+        #: SOT indices whose chunk fully arrived, and the scan request that
+        #: created this stream — the reconnect/resume bookkeeping.  Both are
+        #: touched only by the client's reader thread (delivery and
+        #: resubmission happen on the same thread, so no lock is needed).
+        self._delivered_sots: set[int] = set()
+        self._request_message: dict | None = None
 
     # Reader-thread side -------------------------------------------------
     def _deliver(self, event: tuple) -> None:
         """Non-blocking delivery: the queue is unbounded, and bounded in
         practice by the credits the server can spend."""
+        if event[0] == "chunk":
+            # Resume bookkeeping: this SOT's bytes are safely on this side
+            # of the wire, so a reconnect must never ask for it again.
+            self._delivered_sots.add(event[1])
         self._events.put(event)
 
     def _fail_from_wire(self, error: BaseException) -> None:
@@ -1067,17 +1217,59 @@ class RemoteScanStream:
         self._client._send_cancel(self.query_id)
         self._fail_from_wire(StreamCancelledError("stream closed by its consumer"))
 
+    def _scan_error(self) -> ServiceError:
+        """The exception consumers raise, preserving the typed subclass
+        (deadline, busy, poison, cancelled...) carried over the wire."""
+        error = self._error
+        cls = type(error) if isinstance(error, ServiceError) else ServiceError
+        try:
+            return cls(f"scan failed: {error}")
+        except Exception:  # noqa: BLE001 — a ctor needing extra args
+            return ServiceError(f"scan failed: {error}")
+
+    def _starved_stage(self) -> str:
+        """Best-effort: which stage a timed-out wait starved in.
+
+        Asks the server where the scan actually is (queue vs execute vs
+        wire); when even that probe fails — the wire itself may be the
+        problem — falls back to what this side knows (chunks delivered)."""
+        try:
+            status = self._client.query_status(self.query_id)
+            stage = status.get("stage", "unknown")
+            delivered = status.get("delivered", 0)
+            return (
+                f"server reports the scan in its {stage} stage with "
+                f"{delivered} chunk(s) delivered"
+            )
+        except Exception:  # noqa: BLE001 — the probe must never mask the timeout
+            delivered = len(self._delivered_sots)
+            if delivered:
+                return (
+                    f"status probe failed; {delivered} chunk(s) had arrived "
+                    "(starved in execute or on the wire)"
+                )
+            return (
+                "status probe failed; no chunk ever arrived "
+                "(starved in queue, execute, or on the wire)"
+            )
+
     def __iter__(self) -> Iterator[tuple[int, list[ScanRegion]]]:
         if self._error is not None:
-            raise ServiceError(f"scan failed: {self._error}") from self._error
+            raise self._scan_error() from self._error
+        skew = self._client._fault_skew
         while not self._finished:
             try:
                 kind, *rest = self._events.get(timeout=self._timeout)
             except queue.Empty:
                 raise ServiceError(
-                    f"no stream data within {self._timeout} seconds"
+                    f"no stream data within {self._timeout} seconds "
+                    f"({self._starved_stage()})"
                 ) from None
             if kind == "chunk":
+                if skew is not None and skew.should_fire():
+                    # Injected clock-skewed slow consumer: stall between
+                    # drain and credit return, starving the server's pump.
+                    time.sleep(skew.delay_seconds)
                 sot_index, regions = rest
                 self._regions.extend(regions)
                 if self._credits:
@@ -1091,13 +1283,13 @@ class RemoteScanStream:
             else:  # "error"
                 self._error = rest[0]
                 self._finished = True
-                raise ServiceError(f"scan failed: {self._error}") from self._error
+                raise self._scan_error() from self._error
 
     def result(self) -> ScanResult:
         for _ in self:
             pass
         if self._error is not None:
-            raise ServiceError(f"scan failed: {self._error}") from self._error
+            raise self._scan_error() from self._error
         assert self._result is not None
         return self._result
 
@@ -1128,11 +1320,15 @@ class RemoteTasmClient:
         timeout: float | None = 30.0,
         stream_buffer_chunks: int = 64,
         use_shm: bool | None = None,
+        retry: RetryPolicy | None = None,
+        fault_plan=None,
     ):
+        self._address = address
         self._sock = socket.create_connection(address, timeout=timeout)
         _disable_nagle(self._sock)
         self._timeout = timeout
         self._buffer_chunks = stream_buffer_chunks
+        self._retry = retry
         self._send_lock = threading.Lock()
         self._table_lock = threading.Lock()
         self._next_id = 0
@@ -1145,57 +1341,82 @@ class RemoteTasmClient:
         #: handy for verifying what the negotiation actually produced.
         self.shm_chunks_received = 0
         self.socket_chunks_received = 0
+        #: Successful reconnects performed by the reader thread.
+        self.retries_total = 0
+        # Client-side fault injection (chaos tests): a failing shm attach and
+        # a clock-skewed slow consumer.
+        self._fault_attach = (
+            fault_plan.site(FAULT_SHM_ATTACH) if fault_plan is not None else None
+        )
+        self._fault_skew = (
+            fault_plan.site(FAULT_CONSUMER_SKEW) if fault_plan is not None else None
+        )
         #: Set by the reader when the wire dies; requests registered after
         #: the outstanding-failure sweep check it so they fail fast instead
         #: of waiting on a connection that will never answer.
         self._dead: BaseException | None = None
+        #: Cleared while the reader rebuilds a failed wire, set again when
+        #: the wire works (or is dead for good — then ``_dead`` says why).
+        #: Senders wait on it so a scan issued mid-reconnect does not write
+        #: into a socket known to be gone.
+        self._wire_ok = threading.Event()
+        self._wire_ok.set()
         if use_shm is None:
             use_shm = address[0] in _LOOPBACK_HOSTS
+        self._want_shm = bool(use_shm)
         self._sock.settimeout(timeout)  # bound the handshake
-        self._handshake(bool(use_shm))
+        try:
+            self._shm = self._handshake(self._sock)
+        except BaseException:
+            self._sock.close()
+            raise
         self._sock.settimeout(None)  # the reader thread blocks; ops use _timeout
         self._reader = threading.Thread(
             target=self._read_loop, name="tasm-client-reader", daemon=True
         )
         self._reader.start()
 
-    def _handshake(self, want_shm: bool) -> None:
+    def _handshake(self, sock: socket.socket):
+        """Run the hello on ``sock``; the attached shm segment (or None).
+
+        Raises :class:`TransportError`/:class:`ProtocolError` on failure —
+        the caller owns closing the socket.  Used for both the initial
+        connection and every reconnect (each connection negotiates its own
+        ring; a ring from a dead connection is useless).
+        """
         try:
             send_message(
-                self._sock,
+                sock,
                 {
                     "op": "hello",
                     "id": 0,
                     "version": PROTOCOL_VERSION,
-                    "shm": want_shm,
+                    "shm": self._want_shm,
                 },
             )
-            reply = recv_message(self._sock)
+            reply = recv_message(sock)
         except TransportError:
-            self._sock.close()
             raise
         except OSError as error:
-            self._sock.close()
             raise TransportError(f"handshake failed: {error}") from error
         if reply is None:
-            self._sock.close()
             raise TransportError("connection closed during handshake")
         if reply.get("type") == "error":
-            self._sock.close()
             raise ProtocolError(f"server refused the handshake: {reply.get('message')}")
         if reply.get("type") != "hello" or reply.get("version") != PROTOCOL_VERSION:
-            self._sock.close()
             raise ProtocolError(f"unexpected handshake reply: {reply}")
         descriptor = reply.get("shm")
         if descriptor:
             try:
-                self._shm = _attach_shm(descriptor["name"])
+                if self._fault_attach is not None and self._fault_attach.should_fire():
+                    raise OSError("injected shm attach failure")
+                return _attach_shm(descriptor["name"])
             except Exception:  # noqa: BLE001 — fall back to the socket path
-                self._shm = None
                 try:
-                    send_message(self._sock, {"op": "shm_failed", "id": 0})
+                    send_message(sock, {"op": "shm_failed", "id": 0})
                 except OSError:
                     pass
+        return None
 
     @property
     def shm_active(self) -> bool:
@@ -1214,13 +1435,20 @@ class RemoteTasmClient:
             for query_id in outstanding:
                 self._send_cancel(query_id)
             self._closed = True
-        # Shut the socket down before joining: a reader blocked in recv on a
-        # wedged connection only wakes once the kernel aborts the transfer.
-        try:
-            self._sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        self._sock.close()
+            # The socket teardown happens under the same lock the reader's
+            # reconnect uses to swap sockets in: either the swap completed
+            # (we close the new socket and the reader exits on its next
+            # check) or it never will (the reader sees _closed and gives
+            # up) — a socket can never leak between close and reconnect.
+            # Shutting down before joining matters for a wedged connection:
+            # a reader blocked in recv only wakes when the kernel aborts
+            # the transfer.
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+        self._wire_ok.set()  # unblock senders parked on a reconnect
         self._reader.join(timeout=join_timeout)
         if self._reader.is_alive():
             warnings.warn(
@@ -1247,53 +1475,161 @@ class RemoteTasmClient:
     # The demultiplexing reader
     # ------------------------------------------------------------------
     def _read_loop(self) -> None:
-        try:
-            while True:
-                frame = recv_frame(self._sock)
-                if frame is None:
-                    self._fail_outstanding(ServiceError("connection closed"))
-                    return
-                kind, payload = frame
-                if kind == KIND_CHUNK:
-                    header, regions = decode_chunk_payload(payload)
-                    self.socket_chunks_received += 1
-                    stream = self._stream_for(header.get("id"))
-                    if stream is not None:
-                        stream._deliver(("chunk", header["sot_index"], regions))
-                elif kind == KIND_SHM_CHUNK:
-                    if self._shm is None:
-                        raise TransportError(
-                            "server sent a shared-memory chunk on a connection "
-                            "without a negotiated ring"
-                        )
-                    offset, header, regions = decode_shm_chunk_payload(
-                        payload, self._shm.buf
-                    )
-                    # The pixels are copied out; release the ring slot even
-                    # if nobody waits on this stream anymore.
-                    self._send_frame(KIND_SHM_ACK, _SHM_ACK_FRAME.pack(offset))
-                    self.shm_chunks_received += 1
-                    stream = self._stream_for(header.get("id"))
-                    if stream is not None:
-                        stream._deliver(("chunk", header["sot_index"], regions))
-                elif kind == KIND_JSON:
-                    self._dispatch_json(json.loads(bytes(payload).decode("utf-8")))
-                else:
-                    raise TransportError(f"unknown frame kind {kind}")
-        except (TransportError, ConnectionError, OSError) as error:
+        """Demultiplex frames; on a wire failure, reconnect when allowed.
+
+        The reader owns recovery: it is the only thread that knows the wire
+        died, and running the reconnect here means stream delivery and
+        stream resubmission happen on one thread — no delivered-chunk
+        bookkeeping races.  A client without a :class:`RetryPolicy` (or one
+        whose attempts are exhausted, or that was closed) fails everything
+        outstanding exactly as before.
+        """
+        while True:
+            try:
+                self._read_frames()
+                error: BaseException = ServiceError("connection closed")
+            except (TransportError, ConnectionError, OSError) as wire_error:
+                error = wire_error
+            except Exception as other:  # noqa: BLE001 — the reader must not die mute
+                # A malformed frame (corrupt JSON, truncated chunk header —
+                # e.g. a version-skewed peer or a desynced byte stream) is
+                # not survivable by reconnecting: the failure is semantic,
+                # not transient.  Fail everything outstanding so blocked
+                # callers raise instead of waiting on a reader that no
+                # longer exists.
+                self._fail_outstanding(
+                    TransportError(f"malformed frame from server: {other!r}")
+                )
+                return
             if self._closed:
                 self._fail_outstanding(ServiceError("client closed"))
+                return
+            if self._retry is not None and self._reconnect(error):
+                continue
+            self._fail_outstanding(error)
+            return
+
+    def _read_frames(self) -> None:
+        """Read and dispatch frames until a clean EOF (returns) or a wire
+        error (raises).  ``self._sock`` is re-read every iteration so a
+        reconnect swap takes effect on the next frame.
+        """
+        while True:
+            frame = recv_frame(self._sock)
+            if frame is None:
+                return
+            kind, payload = frame
+            if kind == KIND_CHUNK:
+                header, regions = decode_chunk_payload(payload)
+                self.socket_chunks_received += 1
+                stream = self._stream_for(header.get("id"))
+                if stream is not None:
+                    stream._deliver(("chunk", header["sot_index"], regions))
+            elif kind == KIND_SHM_CHUNK:
+                if self._shm is None:
+                    raise TransportError(
+                        "server sent a shared-memory chunk on a connection "
+                        "without a negotiated ring"
+                    )
+                offset, header, regions = decode_shm_chunk_payload(
+                    payload, self._shm.buf
+                )
+                # The pixels are copied out; release the ring slot even
+                # if nobody waits on this stream anymore.
+                self._send_frame(KIND_SHM_ACK, _SHM_ACK_FRAME.pack(offset))
+                self.shm_chunks_received += 1
+                stream = self._stream_for(header.get("id"))
+                if stream is not None:
+                    stream._deliver(("chunk", header["sot_index"], regions))
+            elif kind == KIND_JSON:
+                self._dispatch_json(json.loads(bytes(payload).decode("utf-8")))
             else:
-                self._fail_outstanding(error)
-        except Exception as error:  # noqa: BLE001 — the reader must not die mute
-            # A malformed frame (corrupt JSON, truncated chunk header, a
-            # header missing keys — e.g. a version-skewed peer or a desynced
-            # byte stream) is a wire failure like any other: fail everything
-            # outstanding so blocked callers raise instead of waiting on a
-            # reader that no longer exists.
-            self._fail_outstanding(
-                TransportError(f"malformed frame from server: {error!r}")
-            )
+                raise TransportError(f"unknown frame kind {kind}")
+
+    def _reconnect(self, error: BaseException) -> bool:
+        """Dial a replacement connection and resume in-flight scans.
+
+        Runs on the reader thread.  Pending request/reply calls are failed
+        immediately (their operation may or may not have been applied — a
+        blind re-send could double-apply ``add_metadata``), but scan streams
+        are *resumable*: each is re-submitted with ``skip_sots`` naming every
+        chunk already delivered, so the server decodes only what the client
+        has not seen and the merged result is byte-identical to an
+        uninterrupted run.  Returns False when the policy's attempts are
+        exhausted or the client was closed concurrently.
+        """
+        retry = self._retry
+        self._wire_ok.clear()
+        try:
+            # Fail replies only; streams survive the gap and resume below.
+            with self._table_lock:
+                replies = list(self._replies.values())
+                self._replies.clear()
+            for reply in replies:
+                reply.put(
+                    {
+                        "type": "error",
+                        "message": f"connection lost: {error}",
+                        "code": error_code(TransportError("connection lost")),
+                    }
+                )
+            with self._table_lock:
+                resumable = list(self._streams.items())
+            rng = random.Random(retry.seed)
+            for attempt in range(retry.attempts):
+                delay = retry.delay(attempt, rng)
+                deadline = time.monotonic() + delay
+                while not self._closed and time.monotonic() < deadline:
+                    time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+                if self._closed:
+                    return False
+                try:
+                    sock = socket.create_connection(
+                        self._address, timeout=self._timeout
+                    )
+                except OSError:
+                    continue
+                try:
+                    _disable_nagle(sock)
+                    sock.settimeout(self._timeout)
+                    new_shm = self._handshake(sock)
+                    sock.settimeout(None)
+                except (TransportError, ProtocolError, OSError):
+                    sock.close()
+                    continue
+                with self._close_lock:
+                    if self._closed:
+                        if new_shm is not None:
+                            new_shm.close()
+                        sock.close()
+                        return False
+                    old_sock, self._sock = self._sock, sock
+                    old_shm, self._shm = self._shm, new_shm
+                try:
+                    old_sock.close()
+                except OSError:
+                    pass
+                if old_shm is not None:
+                    old_shm.close()
+                self.retries_total += 1
+                self._wire_ok.set()
+                for query_id, stream in resumable:
+                    message = stream._request_message
+                    if message is None:
+                        continue
+                    resume = dict(message)
+                    resume["skip_sots"] = sorted(stream._delivered_sots)
+                    try:
+                        self._send(resume)
+                    except (ServiceError, OSError) as resubmit_error:
+                        if self._forget_stream(query_id):
+                            stream._fail_from_wire(resubmit_error)
+                return True
+            return False
+        finally:
+            # Whatever happened, senders must not block forever on a
+            # reconnect that is no longer in progress.
+            self._wire_ok.set()
 
     def _dispatch_json(self, message: dict) -> None:
         query_id = message.get("id")
@@ -1307,7 +1643,9 @@ class RemoteTasmClient:
             if message_type == "done":
                 stream._deliver(("done", message))
             else:
-                stream._fail_from_wire(ServiceError(message["message"]))
+                stream._fail_from_wire(
+                    error_from_code(message.get("code"), message["message"])
+                )
         elif reply is not None:
             with self._table_lock:
                 self._replies.pop(query_id, None)
@@ -1344,6 +1682,12 @@ class RemoteTasmClient:
             return self._next_id
 
     def _send(self, message: dict) -> None:
+        # During a reconnect the old socket is gone and the new one is not
+        # dialled yet; park senders instead of failing them into the gap.
+        if not self._wire_ok.wait(timeout=self._timeout):
+            raise TransportError(
+                f"reconnect did not complete within {self._timeout} seconds"
+            )
         if self._closed:
             raise ServiceError("the client is closed")
         with self._table_lock:
@@ -1377,26 +1721,32 @@ class RemoteTasmClient:
         labels: list[str] | str,
         frame_start: int | None = None,
         frame_stop: int | None = None,
+        deadline_ms: float | None = None,
+        priority: int = 0,
     ) -> RemoteScanStream:
         if isinstance(labels, str):
             labels = [labels]
         query_id = self._allocate_id()
         credits = max(0, self._buffer_chunks)
         stream = RemoteScanStream(self, query_id, credits, self._timeout)
+        message = {
+            "op": "scan",
+            "id": query_id,
+            "video": video,
+            "labels": labels,
+            "frame_start": frame_start,
+            "frame_stop": frame_stop,
+            "credits": credits,
+            "deadline_ms": deadline_ms,
+            "priority": priority,
+        }
+        # Kept (sans skip list) so a reconnect can re-submit the scan with
+        # ``skip_sots`` naming whatever this stream already delivered.
+        stream._request_message = dict(message)
         with self._table_lock:
             self._streams[query_id] = stream
         try:
-            self._send(
-                {
-                    "op": "scan",
-                    "id": query_id,
-                    "video": video,
-                    "labels": labels,
-                    "frame_start": frame_start,
-                    "frame_stop": frame_stop,
-                    "credits": credits,
-                }
-            )
+            self._send(message)
         except BaseException:
             with self._table_lock:
                 self._streams.pop(query_id, None)
@@ -1409,8 +1759,26 @@ class RemoteTasmClient:
         labels: list[str] | str,
         frame_start: int | None = None,
         frame_stop: int | None = None,
+        deadline_ms: float | None = None,
+        priority: int = 0,
     ) -> ScanResult:
-        return self.scan_streaming(video, labels, frame_start, frame_stop).result()
+        return self.scan_streaming(
+            video,
+            labels,
+            frame_start,
+            frame_stop,
+            deadline_ms=deadline_ms,
+            priority=priority,
+        ).result()
+
+    def query_status(self, query_id: int) -> dict:
+        """Ask the server where a query currently sits (queue / execute /
+        wire) and how many chunks it has pushed; used to attribute stream
+        timeouts to the starving stage."""
+        reply = self._request({"op": "query_status", "target_id": query_id})
+        if reply.get("type") != "status":
+            raise ServiceError(f"query_status failed: {reply}")
+        return reply
 
     def add_metadata(
         self,

@@ -1,0 +1,799 @@
+"""Fault injection and recovery: the chaos suite.
+
+The contracts pinned here, layer by layer:
+
+* the :class:`~repro.faults.FaultPlan` itself is deterministic — for a fixed
+  seed every site's fire-decision sequence is a pure function of its
+  evaluation ordinal, so a chaos run can reconcile what fired against what
+  the recovery machinery reports;
+* **deadlines** fail a query with :class:`~repro.errors.DeadlineExceeded`
+  whether it expires while pending (never costing a batch slot) or mid-batch
+  (the executor's cancelled-probe stops its remaining decode);
+* **load shedding** fast-fails with :class:`~repro.errors.ServerBusy` above
+  the depth bound, and the queue-wait breaker sheds the lowest-priority,
+  newest pending queries first;
+* **runner supervision** restarts crashed batch runners, requeues their
+  unaffected queries with served SOTs skipped (results byte-identical), and
+  quarantines a query that keeps killing runners with
+  :class:`~repro.errors.PoisonQueryError`;
+* **retry/reconnect**: a :class:`~repro.service.RetryPolicy` client survives
+  a dropped or mid-frame-cut connection, resuming in-flight scans from the
+  last delivered chunk — byte-identical to an uninterrupted run — and
+  ``close()`` concurrent with an in-flight reconnect is clean (no leaked
+  reader, idempotent);
+* a transient decode fault fails only the offending execution: a multi-query
+  batch retries its untouched members individually;
+* the hello handshake is bounded: an idle peer is cut loose and counted;
+* timeout errors say which stage starved (queue vs execute vs wire);
+* with no plan configured every injection hook resolves to ``None`` — the
+  production path carries no chaos machinery;
+* and the seeded **chaos workload**: mixed queries under a multi-point plan
+  never hang, never deliver wrong bytes, always terminate in a known state,
+  and the recovery metrics account for every injected fault.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.core.query import Query
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    PoisonQueryError,
+    ServerBusy,
+    ServiceError,
+)
+from repro.faults import (
+    FAULT_CONSUMER_SKEW,
+    FAULT_DECODE_ERROR,
+    FAULT_RUNNER_DEATH,
+    FAULT_SHM_ATTACH,
+    FAULT_TRANSPORT_CUT,
+    FAULT_TRANSPORT_DELAY,
+    FAULT_TRANSPORT_DROP,
+    FaultPlan,
+    FaultSite,
+    FaultSpec,
+)
+from repro.service import (
+    BatchScheduler,
+    RemoteTasmClient,
+    RetryPolicy,
+    ShmTransport,
+    SocketTransport,
+)
+from repro.service.shedding import QueueWaitBreaker, percentile_from_buckets
+from tests.test_exec_engine import assert_scan_results_identical, make_tasm
+from tests.test_service_flow_control import make_server, only_connection, wait_until
+
+LABELS = ["car", "person", "sign"]
+
+
+def gate_decoder(tasm, gate: threading.Event, hold_call: int = 1):
+    """Instrument the decoder so prefetch call ``hold_call`` parks on ``gate``.
+
+    Returns the call-count list and the original so callers can restore it.
+    """
+    calls: list = []
+    original = tasm._decoder.prefetch_regions
+
+    def instrumented(sot, requests, scope):
+        calls.append(scope)
+        if len(calls) == hold_call:
+            gate.wait(timeout=30)
+        return original(sot, requests, scope)
+
+    tasm._decoder.prefetch_regions = instrumented
+    return calls, original
+
+
+# ----------------------------------------------------------------------
+# The plan itself
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_same_seed_same_decision_sequence(self):
+        spec = FaultSpec(FAULT_TRANSPORT_DROP, probability=0.5)
+        first = [FaultSite(spec, seed=7).should_fire() for _ in range(1)]
+        a = FaultSite(spec, seed=7)
+        b = FaultSite(spec, seed=7)
+        assert [a.should_fire() for _ in range(200)] == [
+            b.should_fire() for _ in range(200)
+        ]
+        assert a.fires == b.fires
+        del first
+
+    def test_sites_are_seeded_per_point(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(FAULT_TRANSPORT_DROP, probability=0.5),
+                FaultSpec(FAULT_RUNNER_DEATH, probability=0.5),
+            ],
+            seed=7,
+        )
+        drop = plan.site(FAULT_TRANSPORT_DROP)
+        death = plan.site(FAULT_RUNNER_DEATH)
+        drops = [drop.should_fire() for _ in range(200)]
+        deaths = [death.should_fire() for _ in range(200)]
+        assert drops != deaths, "per-point RNG streams must be independent"
+        assert plan.fires() == {
+            FAULT_TRANSPORT_DROP: sum(drops),
+            FAULT_RUNNER_DEATH: sum(deaths),
+        }
+        assert plan.total_fires() == sum(drops) + sum(deaths)
+
+    def test_skip_first_and_max_fires(self):
+        site = FaultSite(
+            FaultSpec(FAULT_DECODE_ERROR, probability=1.0, skip_first=3, max_fires=2),
+            seed=0,
+        )
+        decisions = [site.should_fire() for _ in range(10)]
+        assert decisions == [False, False, False, True, True] + [False] * 5
+        assert site.fires == 2
+        assert site.evaluations == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("transport.not-a-point")
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FAULT_TRANSPORT_DROP, probability=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FAULT_TRANSPORT_DROP, max_fires=-1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                [FaultSpec(FAULT_TRANSPORT_DROP), FaultSpec(FAULT_TRANSPORT_DROP)]
+            )
+
+    def test_unplanned_point_resolves_to_none(self):
+        plan = FaultPlan([FaultSpec(FAULT_TRANSPORT_DROP)])
+        assert plan.site(FAULT_RUNNER_DEATH) is None
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_deadline_fails_query_while_runner_is_busy(self, config):
+        """A 50 ms deadline behind a held runner: whether it expires pending
+        or at the mid-batch probe, the waiter gets DeadlineExceeded."""
+        server, video = make_server(
+            config, service_runners=1, service_max_batch=1, service_batch_window_ms=0.0
+        )
+        gate = threading.Event()
+        calls, original = gate_decoder(server.tasm, gate, hold_call=1)
+        try:
+            blocker = server.submit(Query.select("car", video.name))
+            assert wait_until(lambda: len(calls) >= 1), "first batch never started"
+            doomed = server.submit(
+                Query.select("person", video.name), deadline_ms=50.0
+            )
+            time.sleep(0.1)  # let the deadline lapse while the runner is held
+            gate.set()
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=30)
+            blocker.result(timeout=30)
+            assert server._scheduler.queries_deadline_exceeded >= 1
+        finally:
+            gate.set()
+            server.tasm._decoder.prefetch_regions = original
+            server.stop()
+
+    def test_mid_batch_deadline_skips_remaining_decode(self, config):
+        """Expire a query between its SOTs: the cancelled-probe fails it and
+        the third SOT is never prefetched."""
+        server, video = make_server(
+            config, service_runners=1, service_max_batch=1, service_batch_window_ms=0.0
+        )
+        gate = threading.Event()
+        calls, original = gate_decoder(server.tasm, gate, hold_call=2)
+        try:
+            stream = server.submit(
+                Query.select("car", video.name), deadline_ms=300.0
+            )
+            assert wait_until(lambda: len(calls) >= 2), "the batch never started"
+            assert wait_until(stream.expired, timeout=5.0)
+            gate.set()
+            with pytest.raises(DeadlineExceeded):
+                stream.result(timeout=30)
+            # "car" spans 3 SOTs; the post-deadline one was skipped.
+            assert wait_until(lambda: server._scheduler.batches_executed >= 1)
+            assert len(calls) == 2
+            assert server._scheduler.queries_deadline_exceeded == 1
+        finally:
+            gate.set()
+            server.tasm._decoder.prefetch_regions = original
+            server.stop()
+
+    def test_deadline_travels_the_wire_typed(self, config):
+        """A remote scan's deadline failure arrives as DeadlineExceeded, not
+        a bare ServiceError — the wire carries the error code."""
+        server, video = make_server(
+            config, service_runners=1, service_max_batch=1, service_batch_window_ms=0.0
+        )
+        gate = threading.Event()
+        calls, original = gate_decoder(server.tasm, gate, hold_call=1)
+        transport = SocketTransport(server).start()
+        try:
+            with RemoteTasmClient(
+                transport.address, timeout=30.0, use_shm=False
+            ) as client:
+                blocker = client.scan_streaming(video.name, "car")
+                assert wait_until(lambda: len(calls) >= 1)
+                doomed = client.scan_streaming(
+                    video.name, "person", deadline_ms=50.0
+                )
+                time.sleep(0.1)
+                gate.set()
+                with pytest.raises(DeadlineExceeded):
+                    doomed.result()
+                blocker.result()
+        finally:
+            gate.set()
+            server.tasm._decoder.prefetch_regions = original
+            transport.stop()
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Load shedding
+# ----------------------------------------------------------------------
+class _TrippedBreaker:
+    last_percentile = 0.25
+
+    def should_shed(self) -> bool:
+        return True
+
+
+class TestLoadShedding:
+    def test_depth_bound_fast_fails(self, config):
+        """Above ``service_max_queue_depth`` pending, submit refuses with
+        SERVER_BUSY before allocating a stream."""
+        tasm, video = make_tasm(config)
+        scheduler = BatchScheduler(tasm, window_ms=0.0, max_batch=4, max_queue_depth=2)
+        scheduler._running = True  # driven without threads: pending stays put
+        scheduler.submit(Query.select("car", video.name))
+        scheduler.submit(Query.select("person", video.name))
+        with pytest.raises(ServerBusy, match="SERVER_BUSY"):
+            scheduler.submit(Query.select("sign", video.name))
+        assert scheduler.queries_shed == 1
+        assert scheduler.queue_depth == 2, "the refused query never queued"
+
+    def test_breaker_sheds_lowest_priority_newest_first(self, config):
+        """A tripped breaker halves the backlog, failing the cheapest
+        promises: lowest priority first, newest first within a priority."""
+        tasm, video = make_tasm(config)
+        scheduler = BatchScheduler(tasm, window_ms=0.0, max_batch=4)
+        scheduler._running = True
+        scheduler._breaker = _TrippedBreaker()
+        keep_high = scheduler.submit(Query.select("car", video.name), priority=2)
+        shed_old = scheduler.submit(Query.select("person", video.name), priority=0)
+        shed_new = scheduler.submit(Query.select("sign", video.name), priority=0)
+        keep_mid = scheduler.submit(Query.select("car", video.name), priority=1)
+        scheduler._shed_if_overloaded()
+        for victim in (shed_old, shed_new):
+            with pytest.raises(ServerBusy, match="queue-wait breaker"):
+                victim.result(timeout=1.0)
+        assert not keep_high.done and not keep_mid.done
+        assert scheduler.queries_shed == 2
+        assert scheduler.queue_depth == 2
+
+    def test_breaker_windows_and_threshold(self):
+        """The breaker diffs cumulative snapshots: only the recent window's
+        p95 matters, and short windows accumulate instead of evaluating."""
+        bounds = [0.001, 0.01, 0.1]
+        snapshots = []
+
+        def snap(counts):
+            cumulative, running = [], 0
+            for bound, n in zip([*bounds, "+Inf"], counts):
+                running += n
+                cumulative.append((bound, running))
+            return {"count": running, "sum": 0.0, "buckets": cumulative}
+
+        def read():
+            return snapshots.pop(0)
+
+        breaker = QueueWaitBreaker(read, threshold_seconds=0.01, min_samples=8)
+        snapshots.append(snap([100, 0, 0, 0]))  # baseline: history is fast
+        assert breaker.should_shed() is False
+        # Four slow waits: below min_samples, the window keeps accumulating.
+        snapshots.append(snap([100, 0, 4, 0]))
+        assert breaker.should_shed() is False
+        # Eight more: the 12-sample window is all in the 0.1 s bucket.
+        snapshots.append(snap([100, 0, 12, 0]))
+        assert breaker.should_shed() is True
+        assert breaker.last_percentile == pytest.approx(0.1)
+        assert breaker.trips == 1
+        # The next window is fast again: the breaker resets — a past overload
+        # cannot keep shedding after the queue drains.
+        snapshots.append(snap([120, 0, 12, 0]))
+        assert breaker.should_shed() is False
+
+    def test_percentile_from_buckets_edges(self):
+        assert percentile_from_buckets([], 0, 0.95) == 0.0
+        buckets = [(0.01, 0), ("+Inf", 10)]
+        assert percentile_from_buckets(buckets, 10, 0.95) == float("inf")
+        buckets = [(0.01, 10), ("+Inf", 10)]
+        assert percentile_from_buckets(buckets, 10, 0.95) == 0.01
+
+
+# ----------------------------------------------------------------------
+# Runner supervision
+# ----------------------------------------------------------------------
+class TestRunnerSupervision:
+    def test_injected_death_is_survived(self, config):
+        """A runner killed at batch entry is restarted and the query
+        completes byte-identical — the waiter never learns anything broke."""
+        plan = FaultPlan([FaultSpec(FAULT_RUNNER_DEATH, max_fires=1)], seed=3)
+        server, video = make_server(config, fault_plan=plan)
+        reference, _ = make_tasm(config)
+        try:
+            result = server.submit(Query.select("car", video.name)).result(timeout=30)
+            assert_scan_results_identical(result, reference.scan(video.name, "car"))
+            assert wait_until(lambda: server._scheduler.runner_restarts == 1)
+            assert plan.fires()[FAULT_RUNNER_DEATH] == 1
+        finally:
+            server.stop()
+
+    def test_mid_stream_death_resumes_byte_identical(self, config):
+        """Kill the runner *after* it served a SOT: the requeued query skips
+        the delivered chunk and the spliced result is byte-identical."""
+        # skip_first=1 passes the batch-entry evaluation; the next
+        # evaluation is the observer hook after the first served chunk.
+        plan = FaultPlan(
+            [FaultSpec(FAULT_RUNNER_DEATH, skip_first=1, max_fires=1)], seed=3
+        )
+        server, video = make_server(config, fault_plan=plan)
+        reference, _ = make_tasm(config)
+        try:
+            result = server.submit(Query.select("car", video.name)).result(timeout=30)
+            assert_scan_results_identical(result, reference.scan(video.name, "car"))
+            assert wait_until(lambda: server._scheduler.runner_restarts == 1)
+        finally:
+            server.stop()
+
+    def test_poison_query_is_quarantined(self, config):
+        """A query that kills every runner it touches is quarantined after
+        ``service_poison_query_kills`` deaths instead of looping forever."""
+        plan = FaultPlan([FaultSpec(FAULT_RUNNER_DEATH, probability=1.0)], seed=3)
+        server, video = make_server(
+            config, fault_plan=plan, service_poison_query_kills=2
+        )
+        try:
+            stream = server.submit(Query.select("car", video.name))
+            with pytest.raises(PoisonQueryError):
+                stream.result(timeout=30)
+            scheduler = server._scheduler
+            assert scheduler.queries_quarantined == 1
+            assert wait_until(lambda: scheduler.runner_restarts >= 2)
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Decoder faults
+# ----------------------------------------------------------------------
+class TestDecodeFaults:
+    def test_decode_fault_fails_only_that_execution(self, config):
+        """A solo query hit by a decoder fault fails with the decoder's
+        message; the pool survives and the next scan is served normally."""
+        plan = FaultPlan([FaultSpec(FAULT_DECODE_ERROR, max_fires=1)], seed=5)
+        server, video = make_server(config, fault_plan=plan)
+        reference, _ = make_tasm(config)
+        try:
+            with pytest.raises(ServiceError, match="injected decoder fault"):
+                server.submit(Query.select("car", video.name)).result(timeout=30)
+            result = server.submit(Query.select("car", video.name)).result(timeout=30)
+            assert_scan_results_identical(result, reference.scan(video.name, "car"))
+        finally:
+            server.stop()
+
+    def test_transient_decode_fault_in_batch_is_absorbed(self, config):
+        """A batch hit by a transient decoder fault retries its untouched
+        queries individually — both complete byte-identical."""
+        plan = FaultPlan([FaultSpec(FAULT_DECODE_ERROR, max_fires=1)], seed=5)
+        server, video = make_server(
+            config, fault_plan=plan, service_batch_window_ms=50.0, service_runners=1
+        )
+        reference, _ = make_tasm(config)
+        try:
+            first = server.submit(Query.select("car", video.name))
+            second = server.submit(Query.select("person", video.name))
+            assert_scan_results_identical(
+                first.result(timeout=30), reference.scan(video.name, "car")
+            )
+            assert_scan_results_identical(
+                second.result(timeout=30), reference.scan(video.name, "person")
+            )
+            assert plan.fires()[FAULT_DECODE_ERROR] == 1
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Client retry / reconnect
+# ----------------------------------------------------------------------
+RETRY = RetryPolicy(attempts=6, base_delay=0.02, max_delay=0.2, seed=11)
+
+
+class TestRetryReconnect:
+    def test_dropped_connection_resumes_byte_identical(self, config):
+        """Kill the wire after the first chunk: the client reconnects,
+        resumes with skip_sots, and the result is byte-identical."""
+        # Writer frames: hello reply (1), chunk SOT0 (2), chunk SOT1 (3).
+        plan = FaultPlan(
+            [FaultSpec(FAULT_TRANSPORT_DROP, skip_first=2, max_fires=1)], seed=13
+        )
+        server, video = make_server(config, fault_plan=plan)
+        reference, _ = make_tasm(config)
+        transport = SocketTransport(server).start()
+        try:
+            with RemoteTasmClient(
+                transport.address, timeout=30.0, use_shm=False, retry=RETRY
+            ) as client:
+                result = client.scan(video.name, "car")
+                assert_scan_results_identical(
+                    result, reference.scan(video.name, "car")
+                )
+                assert client.retries_total == 1
+                assert plan.fires()[FAULT_TRANSPORT_DROP] == 1
+                assert server._scheduler.scan_resumes >= 1
+        finally:
+            transport.stop()
+            server.stop()
+
+    def test_mid_frame_cut_resumes_byte_identical(self, config):
+        """A connection cut *inside* a frame (truncated payload) is a
+        TransportError, not a clean EOF — and equally survivable."""
+        plan = FaultPlan(
+            [FaultSpec(FAULT_TRANSPORT_CUT, skip_first=2, max_fires=1)], seed=13
+        )
+        server, video = make_server(config, fault_plan=plan)
+        reference, _ = make_tasm(config)
+        transport = SocketTransport(server).start()
+        try:
+            with RemoteTasmClient(
+                transport.address, timeout=30.0, use_shm=False, retry=RETRY
+            ) as client:
+                assert_scan_results_identical(
+                    client.scan(video.name, "car"),
+                    reference.scan(video.name, "car"),
+                )
+                assert client.retries_total == 1
+        finally:
+            transport.stop()
+            server.stop()
+
+    def test_without_retry_policy_the_failure_surfaces(self, config):
+        """The same drop with no RetryPolicy: the scan fails — reconnection
+        is opt-in, not silent behaviour."""
+        plan = FaultPlan(
+            [FaultSpec(FAULT_TRANSPORT_DROP, skip_first=1, max_fires=1)], seed=13
+        )
+        server, video = make_server(config, fault_plan=plan)
+        transport = SocketTransport(server).start()
+        try:
+            with RemoteTasmClient(
+                transport.address, timeout=30.0, use_shm=False
+            ) as client:
+                with pytest.raises(ServiceError):
+                    client.scan(video.name, "car")
+                assert client.retries_total == 0
+        finally:
+            transport.stop()
+            server.stop()
+
+    def test_reconnect_gives_up_when_the_server_is_gone(self, config):
+        """Attempts exhausted against a dead listener: outstanding scans fail
+        instead of retrying forever."""
+        server, video = make_server(config)
+        gate = threading.Event()
+        calls, original = gate_decoder(server.tasm, gate, hold_call=1)
+        transport = SocketTransport(server).start()
+        client = RemoteTasmClient(
+            transport.address,
+            timeout=10.0,
+            use_shm=False,
+            retry=RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.05, seed=1),
+        )
+        try:
+            stream = client.scan_streaming(video.name, "car")
+            assert wait_until(lambda: len(calls) >= 1)
+            transport.stop()  # kills the connection and the listener
+            gate.set()
+            with pytest.raises(ServiceError):
+                stream.result()
+        finally:
+            gate.set()
+            server.tasm._decoder.prefetch_regions = original
+            client.close()
+            transport.stop()
+            server.stop()
+
+    def test_close_concurrent_with_inflight_reconnect(self, config):
+        """close() while the reader is mid-backoff: returns promptly, the
+        reader exits (no leak warning), and a second close is a no-op."""
+        # Every post-hello frame kills the connection — including each
+        # reconnect's hello reply, so the reader loops in backoff forever.
+        plan = FaultPlan(
+            [FaultSpec(FAULT_TRANSPORT_DROP, skip_first=1)], seed=17
+        )
+        server, video = make_server(config, fault_plan=plan)
+        transport = SocketTransport(server).start()
+        client = RemoteTasmClient(
+            transport.address,
+            timeout=5.0,
+            use_shm=False,
+            retry=RetryPolicy(attempts=50, base_delay=0.05, max_delay=0.1, seed=1),
+        )
+        try:
+            stream = client.scan_streaming(video.name, "car")
+            time.sleep(0.3)  # let the drop fire and the reconnect loop spin
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                started = time.monotonic()
+                client.close()
+                assert time.monotonic() - started < 3.0
+                client.close()  # idempotent
+            leaks = [w for w in caught if "reader thread" in str(w.message)]
+            assert not leaks, f"reader leaked through close: {leaks}"
+            assert not client._reader.is_alive()
+            with pytest.raises(ServiceError):
+                stream.result()
+        finally:
+            client.close()
+            transport.stop()
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory attach faults
+# ----------------------------------------------------------------------
+class TestShmAttachFault:
+    def test_attach_failure_falls_back_to_socket(self, config):
+        plan = FaultPlan([FaultSpec(FAULT_SHM_ATTACH, max_fires=1)], seed=19)
+        server, video = make_server(config)
+        reference, _ = make_tasm(config)
+        transport = ShmTransport(server).start()
+        try:
+            with RemoteTasmClient(
+                transport.address, timeout=30.0, use_shm=True, fault_plan=plan
+            ) as client:
+                assert client.shm_active is False
+                assert_scan_results_identical(
+                    client.scan(video.name, "car"),
+                    reference.scan(video.name, "car"),
+                )
+                assert client.socket_chunks_received > 0
+                assert client.shm_chunks_received == 0
+        finally:
+            transport.stop()
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Handshake bound (satellite: a wedged peer cannot pin a reader forever)
+# ----------------------------------------------------------------------
+class TestHandshakeTimeout:
+    def test_idle_peer_is_cut_and_counted(self, config):
+        server, video = make_server(config, service_handshake_timeout_s=0.25)
+        transport = SocketTransport(server).start()
+        try:
+            idler = socket.create_connection(transport.address, timeout=5.0)
+            idler.settimeout(5.0)
+            try:
+                assert idler.recv(1) == b"", "the idle peer should be cut loose"
+            finally:
+                idler.close()
+            assert wait_until(
+                lambda: server.obs.handshakes_timed_out.value >= 1
+            ), "the timed-out handshake was never counted"
+            # A well-behaved client afterwards is served normally.
+            with RemoteTasmClient(
+                transport.address, timeout=30.0, use_shm=False
+            ) as client:
+                assert client.scan(video.name, "car").regions
+        finally:
+            transport.stop()
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Starved-stage timeout messages (satellite)
+# ----------------------------------------------------------------------
+class TestStarvedStageMessages:
+    def test_result_timeout_names_the_queue_stage(self, config):
+        tasm, video = make_tasm(config)
+        scheduler = BatchScheduler(tasm, window_ms=0.0, max_batch=4)
+        scheduler._running = True  # no threads: the query stays queued
+        stream = scheduler.submit(Query.select("car", video.name))
+        with pytest.raises(ServiceError, match="starved in queue"):
+            stream.result(timeout=0.05)
+
+    def test_result_timeout_names_the_execute_stage(self, config):
+        server, video = make_server(
+            config, service_runners=1, service_max_batch=1, service_batch_window_ms=0.0
+        )
+        gate = threading.Event()
+        calls, original = gate_decoder(server.tasm, gate, hold_call=2)
+        try:
+            stream = server.submit(Query.select("car", video.name))
+            assert wait_until(lambda: len(calls) >= 2)
+            with pytest.raises(ServiceError, match="starved in execute"):
+                stream.result(timeout=0.1)
+            gate.set()
+            assert stream.result(timeout=30).regions
+        finally:
+            gate.set()
+            server.tasm._decoder.prefetch_regions = original
+            server.stop()
+
+    def test_remote_timeout_reports_the_server_side_stage(self, config):
+        server, video = make_server(
+            config, service_runners=1, service_max_batch=1, service_batch_window_ms=0.0
+        )
+        gate = threading.Event()
+        calls, original = gate_decoder(server.tasm, gate, hold_call=1)
+        transport = SocketTransport(server).start()
+        try:
+            with RemoteTasmClient(
+                transport.address, timeout=1.0, use_shm=False
+            ) as client:
+                stream = client.scan_streaming(video.name, "car")
+                assert wait_until(lambda: len(calls) >= 1)
+                with pytest.raises(ServiceError) as excinfo:
+                    stream.result()
+                message = str(excinfo.value)
+                assert "no stream data within" in message
+                assert "execute stage" in message, message
+                gate.set()
+        finally:
+            gate.set()
+            server.tasm._decoder.prefetch_regions = original
+            transport.stop()
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Zero-cost hooks when no plan is configured
+# ----------------------------------------------------------------------
+class TestZeroCostWhenUnset:
+    def test_every_hook_resolves_to_none_without_a_plan(self, config):
+        server, video = make_server(config)
+        transport = SocketTransport(server).start()
+        try:
+            assert server._scheduler._fault_runner_death is None
+            assert server.tasm._executor._fault_decode is None
+            with RemoteTasmClient(
+                transport.address, timeout=30.0, use_shm=False
+            ) as client:
+                connection = only_connection(transport)
+                assert connection._fault_drop is None
+                assert connection._fault_cut is None
+                assert connection._fault_delay is None
+                assert client._fault_attach is None
+                assert client._fault_skew is None
+                assert client.scan(video.name, "car").regions
+        finally:
+            transport.stop()
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# The chaos workload
+# ----------------------------------------------------------------------
+class TestChaos:
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_mixed_workload_under_faults(self, config, seed):
+        """Mixed queries under a multi-point seeded plan.  Invariants:
+
+        * nothing hangs — every scan reaches a terminal state in time;
+        * every outcome is a known state: done, deadline, busy, quarantined;
+        * every completed scan's bytes match a fault-free reference;
+        * the recovery metrics account for the injected faults.
+        """
+        plan = FaultPlan(
+            [
+                FaultSpec(FAULT_RUNNER_DEATH, probability=0.25, max_fires=2),
+                FaultSpec(
+                    FAULT_TRANSPORT_DROP, probability=0.2, skip_first=3, max_fires=2
+                ),
+                FaultSpec(
+                    FAULT_TRANSPORT_CUT, probability=0.2, skip_first=5, max_fires=1
+                ),
+                FaultSpec(
+                    FAULT_TRANSPORT_DELAY,
+                    probability=0.3,
+                    delay_ms=5.0,
+                    max_fires=10,
+                ),
+            ],
+            seed=seed,
+        )
+        server, video = make_server(
+            config,
+            fault_plan=plan,
+            service_runners=2,
+            service_max_queue_depth=16,
+            service_poison_query_kills=3,
+        )
+        reference, _ = make_tasm(config)
+        expected = {label: reference.scan(video.name, label) for label in LABELS}
+        transport = ShmTransport(server).start()
+        retry = RetryPolicy(attempts=8, base_delay=0.02, max_delay=0.2, seed=seed)
+        client_a = RemoteTasmClient(
+            transport.address,
+            timeout=15.0,
+            use_shm=True,
+            retry=retry,
+            fault_plan=FaultPlan([FaultSpec(FAULT_SHM_ATTACH, max_fires=1)], seed=seed),
+        )
+        client_b = RemoteTasmClient(
+            transport.address,
+            timeout=15.0,
+            use_shm=False,
+            retry=retry,
+            fault_plan=FaultPlan(
+                [
+                    FaultSpec(
+                        FAULT_CONSUMER_SKEW,
+                        probability=0.2,
+                        delay_ms=2.0,
+                        max_fires=5,
+                    )
+                ],
+                seed=seed,
+            ),
+        )
+        outcomes = {"done": 0, "deadline": 0, "busy": 0, "quarantined": 0}
+        try:
+            submissions = []
+            for index in range(16):
+                client = (client_a, client_b)[index % 2]
+                label = LABELS[index % len(LABELS)]
+                deadline_ms = 40.0 if index % 5 == 0 else None
+                stream = client.scan_streaming(
+                    video.name, label, deadline_ms=deadline_ms, priority=index % 3
+                )
+                submissions.append((stream, label))
+            for stream, label in submissions:
+                try:
+                    result = stream.result()
+                except DeadlineExceeded:
+                    outcomes["deadline"] += 1
+                except ServerBusy:
+                    outcomes["busy"] += 1
+                except PoisonQueryError:
+                    outcomes["quarantined"] += 1
+                else:
+                    outcomes["done"] += 1
+                    assert_scan_results_identical(result, expected[label])
+            # Every query is accounted for — no hang, no unknown terminal.
+            assert sum(outcomes.values()) == len(submissions), outcomes
+            scheduler = server._scheduler
+            fires = plan.fires()
+            # Every injected runner death produced exactly one restart.
+            assert wait_until(
+                lambda: scheduler.runner_restarts == fires[FAULT_RUNNER_DEATH]
+            ), (scheduler.runner_restarts, fires)
+            # Reconnects never exceed the wire faults that fired (a fire on a
+            # handshake-in-progress consumes budget without a reconnect).
+            total_retries = client_a.retries_total + client_b.retries_total
+            assert (
+                total_retries <= fires[FAULT_TRANSPORT_DROP] + fires[FAULT_TRANSPORT_CUT]
+            )
+            # Client-visible outcomes never exceed what the scheduler counted
+            # (a lost error reply may be retried into a different outcome).
+            assert outcomes["deadline"] <= scheduler.queries_deadline_exceeded
+            assert outcomes["busy"] <= scheduler.queries_shed
+            assert outcomes["quarantined"] <= scheduler.queries_quarantined
+        finally:
+            client_a.close()
+            client_b.close()
+            transport.stop()
+            server.stop()

@@ -35,7 +35,7 @@ import pytest
 from repro.core.query import Query
 from repro.errors import ProtocolError, ServiceError, TransportError
 from repro.service import RemoteTasmClient, ShmTransport, SocketTransport, TasmServer
-from repro.service.scheduler import _SHUTDOWN
+from repro.service.scheduler import _SHUTDOWN, ResultStream
 from repro.service.transport import (
     _Outbox,
     _ShmRing,
@@ -364,9 +364,10 @@ class TestClientClose:
 
 
 class TestSchedulerLiveness:
-    def test_result_raises_when_runner_pool_dies(self, config):
-        """result(timeout=None) must fail loudly once the runners are gone
-        instead of waiting forever on a completion that cannot happen."""
+    def test_runner_pool_death_is_survived_by_supervision(self, config):
+        """A runner pool that dies is rebuilt by the supervisor: a query
+        submitted against dead runners still completes (PR 8's supervision
+        replaced the old fail-loudly liveness outcome for this scenario)."""
         server, video = make_server(config)
         scheduler = server._scheduler
         try:
@@ -376,11 +377,28 @@ class TestSchedulerLiveness:
                 lambda: not any(runner.is_alive() for runner in scheduler._runners)
             )
             stream = server.submit(Query.select("car", video.name))
+            result = stream.result(timeout=30)
+            assert result.regions
+            assert scheduler.runner_restarts >= 1
+            assert any(runner.is_alive() for runner in scheduler._runners)
+        finally:
+            server.stop()
+
+    def test_result_raises_when_workers_gone(self, config):
+        """result(timeout=None) must fail loudly when the threads that would
+        complete the stream can never return (dead collector, dead pool with
+        no supervisor) instead of waiting forever."""
+        server, video = make_server(config)
+        try:
+            stream = server.submit(Query.select("car", video.name))
+            stream.result(timeout=30)  # drain the real completion first
+            stream2 = ResultStream(Query.select("car", video.name))
+            stream2._liveness = lambda: False
             outcome: queue.Queue = queue.Queue()
 
             def waiter():
                 try:
-                    stream.result(timeout=None)
+                    stream2.result(timeout=None)
                     outcome.put(None)
                 except ServiceError as error:
                     outcome.put(error)
