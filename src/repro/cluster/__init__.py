@@ -1,0 +1,24 @@
+"""The sharded, replicated TASM cluster layer.
+
+One :class:`ClusterRouter` in front of N shard processes: a consistent-hash
+ring (:class:`HashRing`) partitions ``(video, SOT)`` keys across shards with
+replication, scans scatter via per-shard ``skip_sots`` and gather into one
+merged stream, and failover reuses the service layer's retry/resume
+machinery (see :mod:`repro.cluster.router`).  :class:`ClusterSupervisor`
+launches shard processes for tests and benches.
+"""
+
+from .ring import HashRing, sot_key
+from .router import ClusterRouter, ClusterScanStream, probe_shard
+from .supervisor import ClusterSupervisor, SceneDataset, build_cluster_scene
+
+__all__ = [
+    "ClusterRouter",
+    "ClusterScanStream",
+    "ClusterSupervisor",
+    "HashRing",
+    "SceneDataset",
+    "build_cluster_scene",
+    "probe_shard",
+    "sot_key",
+]

@@ -197,6 +197,21 @@ class TasmConfig:
     #: ``tasm_handshakes_timed_out_total`` — a peer that connects and never
     #: speaks must not pin a server thread forever.  0 disables the bound.
     service_handshake_timeout_s: float = 5.0
+    #: Replication factor of the cluster layer (``repro.cluster``): every
+    #: ``(video, SOT)`` key is owned by this many distinct shards on the
+    #: consistent-hash ring, so a mid-scan shard failure fails over to a
+    #: replica instead of failing the query.  1 means no replication (each
+    #: key has exactly one owner); values above the shard count clamp to it.
+    cluster_replication_factor: int = 1
+    #: Virtual nodes per shard on the cluster's consistent-hash ring.  More
+    #: vnodes smooth the key distribution (each shard owns ~1/N of the
+    #: keyspace with lower variance) at the cost of a larger ring to bisect.
+    cluster_ring_vnodes: int = 64
+    #: Seconds between the cluster router's background health probes of its
+    #: shards (each probe is one bounded hello handshake on a fresh
+    #: connection).  0 disables background probing — health is then only
+    #: observed through scan traffic.
+    cluster_health_interval_s: float = 0.0
     #: A :class:`~repro.faults.FaultPlan` activating deterministic fault
     #: injection at the server-side points (transport drop/cut/delay,
     #: decoder errors, runner death).  None — the default — leaves every
@@ -259,6 +274,14 @@ class TasmConfig:
         if self.service_handshake_timeout_s < 0:
             raise ConfigurationError(
                 "service_handshake_timeout_s must be non-negative (0 = no bound)"
+            )
+        if self.cluster_replication_factor < 1:
+            raise ConfigurationError("cluster_replication_factor must be at least 1")
+        if self.cluster_ring_vnodes < 1:
+            raise ConfigurationError("cluster_ring_vnodes must be at least 1")
+        if self.cluster_health_interval_s < 0:
+            raise ConfigurationError(
+                "cluster_health_interval_s must be non-negative (0 = no probing)"
             )
         if self.fault_plan is not None and not hasattr(self.fault_plan, "site"):
             raise ConfigurationError(

@@ -26,6 +26,7 @@ already near the front of the line keep their sunk queue time.
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 __all__ = ["QueueWaitBreaker", "percentile_from_buckets"]
@@ -38,14 +39,19 @@ def percentile_from_buckets(
 
     ``buckets`` is ``[(upper_bound, cumulative_count), ...]`` with a final
     ``("+Inf", count)`` entry — the shape ``Histogram.snapshot_value()``
-    returns.  The estimate is the upper bound of the bucket the requested
-    rank lands in (conservative: never below the true percentile within the
-    bucket resolution).  A rank landing in the overflow bucket returns
-    ``inf`` — above every finite bound is above any finite threshold.
+    returns.  The estimate is the upper bound of the bucket holding the
+    nearest-rank sample, ``ceil(quantile * count)`` (conservative: never
+    below the true percentile within the bucket resolution).  Comparing the
+    integer cumulative counts against the *fractional* rank instead would
+    land one bucket low whenever floating-point noise pulls the product
+    under the exact integer (``0.29 * 100 == 28.999...``), and a quantile of
+    0 would match an empty leading bucket below the smallest sample.  A rank
+    landing in the overflow bucket returns ``inf`` — above every finite
+    bound is above any finite threshold.
     """
     if count <= 0:
         return 0.0
-    rank = quantile * count
+    rank = max(1, math.ceil(quantile * count))
     for bound, cumulative in buckets:
         if cumulative >= rank:
             return float("inf") if bound == "+Inf" else float(bound)

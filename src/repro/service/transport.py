@@ -76,13 +76,14 @@ import time
 import warnings
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from ..core.predicates import TemporalPredicate
 from ..core.scan import ScanRegion, ScanResult
 from ..errors import (
+    DeadlineExceeded,
     ProtocolError,
     ServiceError,
     StreamCancelledError,
@@ -785,6 +786,25 @@ class _Connection:
             self._reply({"type": "ok", "id": query_id})
         elif op == "stats":
             self._reply({"type": "stats", "id": query_id, **self._server.stats().as_dict()})
+        elif op == "video_info":
+            # Layout facts the cluster router partitions by: how many SOTs
+            # the video has (the ring's key universe) and its frame range.
+            try:
+                video = self._server.tasm.video(message["video"])
+            except Exception as error:  # noqa: BLE001 — unknown video and friends
+                self._reply(
+                    {"type": "error", "id": query_id, "message": str(error)}
+                )
+            else:
+                self._reply(
+                    {
+                        "type": "video_info",
+                        "id": query_id,
+                        "video": video.name,
+                        "sot_count": video.sot_count,
+                        "frame_count": video.video.frame_count,
+                    }
+                )
         elif op == "metrics":
             self._reply(
                 {
@@ -1186,6 +1206,14 @@ class RemoteScanStream:
         #: resubmission happen on the same thread, so no lock is needed).
         self._delivered_sots: set[int] = set()
         self._request_message: dict | None = None
+        #: When the original scan request hit the wire (monotonic clock).
+        #: A reconnect rebases the resumed request's ``deadline_ms`` on
+        #: this, so the replacement server inherits the *remaining* budget
+        #: rather than restarting the full one.
+        self._submitted_at: float | None = None
+        #: Set by :meth:`close`; the reader's resume sweep consults it so a
+        #: stream its consumer abandoned mid-reconnect is never resubmitted.
+        self._closed = False
 
     # Reader-thread side -------------------------------------------------
     def _deliver(self, event: tuple) -> None:
@@ -1212,6 +1240,10 @@ class RemoteScanStream:
         """
         if self._finished and self._error is None:
             return
+        # Mark first: a reconnect's resume sweep running concurrently must
+        # not resubmit a scan whose consumer just walked away (the CANCEL
+        # below may be swallowed by a wire that is already dead).
+        self._closed = True
         if not self._client._forget_stream(self.query_id):
             return  # already completed or failed at the wire level
         self._client._send_cancel(self.query_id)
@@ -1343,6 +1375,9 @@ class RemoteTasmClient:
         self.socket_chunks_received = 0
         #: Successful reconnects performed by the reader thread.
         self.retries_total = 0
+        #: Scans failed client-side because their deadline ran out during a
+        #: reconnect gap — the server never sees (or counts) these.
+        self.deadline_fast_fails = 0
         # Client-side fault injection (chaos tests): a failing shm attach and
         # a clock-skewed slow consumer.
         self._fault_attach = (
@@ -1617,13 +1652,50 @@ class RemoteTasmClient:
                     message = stream._request_message
                     if message is None:
                         continue
+                    # The resumable snapshot predates the backoff loop; a
+                    # consumer may have closed its stream in the gap (its
+                    # CANCEL swallowed by the dead wire).  Resubmitting
+                    # would make the new server execute a scan nobody is
+                    # waiting on.
+                    if stream._closed or self._stream_for(query_id) is not stream:
+                        continue
                     resume = dict(message)
-                    resume["skip_sots"] = sorted(stream._delivered_sots)
+                    # Union, not overwrite: a scatter-gather scan already
+                    # carries a skip list naming the SOTs other shards own.
+                    resume["skip_sots"] = sorted(
+                        set(message.get("skip_sots") or ()) | stream._delivered_sots
+                    )
+                    deadline_ms = message.get("deadline_ms")
+                    if deadline_ms is not None and stream._submitted_at is not None:
+                        # Rebase the deadline: the new server must inherit
+                        # the remaining budget, not restart the full one.
+                        elapsed_ms = (
+                            time.monotonic() - stream._submitted_at
+                        ) * 1000.0
+                        remaining_ms = float(deadline_ms) - elapsed_ms
+                        if remaining_ms <= 0.0:
+                            if self._forget_stream(query_id):
+                                self.deadline_fast_fails += 1
+                                stream._fail_from_wire(
+                                    DeadlineExceeded(
+                                        f"deadline of {float(deadline_ms):g} ms "
+                                        "exhausted before the scan could be "
+                                        "resumed"
+                                    )
+                                )
+                            continue
+                        resume["deadline_ms"] = remaining_ms
                     try:
                         self._send(resume)
                     except (ServiceError, OSError) as resubmit_error:
                         if self._forget_stream(query_id):
                             stream._fail_from_wire(resubmit_error)
+                        continue
+                    if stream._closed:
+                        # close() raced the resubmission: its CANCEL may
+                        # have crossed the wire ahead of the resume
+                        # request.  Re-send it, now ordered after.
+                        self._send_cancel(query_id)
                 return True
             return False
         finally:
@@ -1723,7 +1795,11 @@ class RemoteTasmClient:
         frame_stop: int | None = None,
         deadline_ms: float | None = None,
         priority: int = 0,
+        skip_sots: "Iterable[int] | None" = None,
     ) -> RemoteScanStream:
+        """Submit a scan; ``skip_sots`` names SOT indices the server must not
+        serve (the cluster router's scatter mechanism: each shard executes
+        the query minus the SOTs other shards own)."""
         if isinstance(labels, str):
             labels = [labels]
         query_id = self._allocate_id()
@@ -1740,11 +1816,14 @@ class RemoteTasmClient:
             "deadline_ms": deadline_ms,
             "priority": priority,
         }
-        # Kept (sans skip list) so a reconnect can re-submit the scan with
-        # ``skip_sots`` naming whatever this stream already delivered.
+        if skip_sots is not None:
+            message["skip_sots"] = sorted(set(skip_sots))
+        # Kept so a reconnect can re-submit the scan with ``skip_sots``
+        # grown by whatever this stream already delivered.
         stream._request_message = dict(message)
         with self._table_lock:
             self._streams[query_id] = stream
+        stream._submitted_at = time.monotonic()
         try:
             self._send(message)
         except BaseException:
@@ -1811,6 +1890,14 @@ class RemoteTasmClient:
         reply = self._request({"op": "stats"})
         if reply.get("type") != "stats":
             raise ServiceError(f"stats failed: {reply}")
+        return reply
+
+    def video_info(self, video: str) -> dict:
+        """Layout facts for one video: ``{"video", "sot_count",
+        "frame_count"}``.  The cluster router partitions scans by these."""
+        reply = self._request({"op": "video_info", "video": video})
+        if reply.get("type") != "video_info":
+            raise ServiceError(f"video_info failed: {reply}")
         return reply
 
     def metrics(self) -> dict:

@@ -1,0 +1,475 @@
+"""The cluster layer: ring placement, scatter-gather, replication, failover.
+
+The contracts pinned here:
+
+* the consistent-hash ring is deterministic across processes (stable
+  hashing, never ``PYTHONHASHSEED``-salted builtins), replicas are distinct,
+  and **a joining shard captures ~1/N of the keys, all moving TO it** — the
+  property that keeps N-1 caches warm through a topology change;
+* a scattered scan merges **byte-identical** to a single unsharded server,
+  for plain, multi-label, and temporally bounded queries;
+* placement is **cache-aware**: the shard that served a ``(video, SOT)``
+  keeps serving it, and among untried replicas the less-loaded one (by
+  ``metrics`` queue depth) wins;
+* failover: a shard killed **mid-scan** (SIGKILL, no goodbye) re-scatters
+  its undelivered SOTs to replicas and the merged result stays
+  byte-identical to a healthy run — likewise for a seeded transport-drop
+  storm confined to one shard, with or without a client
+  :class:`~repro.service.RetryPolicy` underneath;
+* ``ServerBusy`` from a shedding shard routes around it for that scan only
+  (the shard is not marked down);
+* health checks ride the bounded hello handshake, and the metrics rollup
+  sums counters across shards without flattening per-shard detail.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cluster import (
+    ClusterRouter,
+    ClusterSupervisor,
+    HashRing,
+    SceneDataset,
+    probe_shard,
+    sot_key,
+)
+from repro.errors import ServiceError
+from repro.faults import FAULT_TRANSPORT_DROP, FaultSpec
+from repro.service import RemoteTasmClient, RetryPolicy, SocketTransport
+from tests.test_exec_engine import assert_scan_results_identical
+from tests.test_faults import gate_decoder
+from tests.test_service_flow_control import make_server, wait_until
+
+LABELS = ["car", "person", "sign"]
+RETRY = RetryPolicy(attempts=6, base_delay=0.02, max_delay=0.2, seed=11)
+
+
+# ----------------------------------------------------------------------
+# The ring
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def keys(self, count: int = 1000):
+        return [sot_key("video", index) for index in range(count)]
+
+    def test_placement_is_deterministic_across_instances(self):
+        """Two independently built rings agree on every owner — placement
+        must be a pure function of membership, never process state."""
+        a = HashRing(["s0", "s1", "s2"], vnodes=32)
+        b = HashRing(["s2", "s0", "s1"], vnodes=32)  # insertion order differs
+        for key in self.keys():
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_replicas_are_distinct_and_owner_first(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"], vnodes=32)
+        for key in self.keys(200):
+            replicas = ring.nodes_for(key, 3)
+            assert len(replicas) == len(set(replicas)) == 3
+            assert replicas[0] == ring.node_for(key)
+
+    def test_replication_clamps_to_membership(self):
+        ring = HashRing(["s0", "s1"], vnodes=16)
+        assert sorted(ring.nodes_for("k", 5)) == ["s0", "s1"]
+
+    def test_join_moves_about_one_nth_of_keys_all_toward_the_joiner(self):
+        """The consistent-hashing contract: a 4th shard takes ~1/4 of the
+        keyspace, every moved key moves *to* it, and nothing else reshuffles
+        (so the other shards' caches stay warm)."""
+        ring = HashRing(["s0", "s1", "s2"], vnodes=64)
+        keys = self.keys(2000)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add_node("s3")
+        after = {key: ring.node_for(key) for key in keys}
+        moved = [key for key in keys if before[key] != after[key]]
+        assert all(after[key] == "s3" for key in moved)
+        fraction = len(moved) / len(keys)
+        assert 0.15 < fraction < 0.35, f"expected ~1/4 of keys to move, got {fraction:.3f}"
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"], vnodes=64)
+        keys = self.keys(2000)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove_node("s3")
+        after = {key: ring.node_for(key) for key in keys}
+        for key in keys:
+            if before[key] != "s3":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "s3"
+
+    def test_load_spread_is_reasonable(self):
+        """Virtual nodes keep per-shard load near 1/N — no shard may own a
+        wildly outsized arc."""
+        ring = HashRing([f"s{i}" for i in range(4)], vnodes=64)
+        counts: dict[str, int] = {}
+        for key in self.keys(4000):
+            owner = ring.node_for(key)
+            counts[owner] = counts.get(owner, 0) + 1
+        for owner, count in counts.items():
+            assert 0.5 / 4 < count / 4000 < 2.0 / 4, (owner, counts)
+
+
+# ----------------------------------------------------------------------
+# In-process shards: scatter-gather semantics under full control
+# ----------------------------------------------------------------------
+def make_local_cluster(config, shards=2, overrides_by_shard=None, **overrides):
+    """N in-process TasmServers behind SocketTransports, same tiny dataset.
+
+    In-process shards let tests gate decoders and bound queues
+    deterministically; real multi-process shards are exercised by the
+    supervisor tests below.  Every shard builds the same deterministic tiny
+    scene, so any shard can serve any SOT byte-identically.
+    """
+    servers, transports = [], []
+    video = None
+    for index in range(shards):
+        shard_overrides = {**overrides, **(overrides_by_shard or {}).get(index, {})}
+        server, video = make_server(config, **shard_overrides)
+        transport = SocketTransport(server).start()
+        servers.append(server)
+        transports.append(transport)
+    return servers, transports, video
+
+
+def stop_local_cluster(servers, transports):
+    for transport in transports:
+        transport.stop()
+    for server in servers:
+        server.stop()
+
+
+def replicated(config, factor=2):
+    return config.with_updates(cluster_replication_factor=factor)
+
+
+class TestScatterGather:
+    def test_merged_result_matches_single_server(self, config):
+        servers, transports, video = make_local_cluster(config, shards=3)
+        try:
+            router = ClusterRouter(
+                [t.address for t in transports], config=replicated(config)
+            )
+            with RemoteTasmClient(
+                transports[0].address, timeout=30.0, use_shm=False
+            ) as direct:
+                for labels in ("car", LABELS, ["person", "sign"]):
+                    assert_scan_results_identical(
+                        router.scan(video.name, labels),
+                        direct.scan(video.name, labels),
+                    )
+                # Temporal bound: SOTs outside the range deliver nothing,
+                # whichever shard owns them.
+                assert_scan_results_identical(
+                    router.scan(video.name, "car", frame_start=5, frame_stop=12),
+                    direct.scan(video.name, "car", frame_start=5, frame_stop=12),
+                )
+            router.close()
+        finally:
+            stop_local_cluster(servers, transports)
+
+    def test_streaming_chunks_cover_each_sot_at_most_once(self, config):
+        servers, transports, video = make_local_cluster(config, shards=2)
+        try:
+            router = ClusterRouter([t.address for t in transports], config=config)
+            stream = router.scan_streaming(video.name, "car")
+            seen = [sot for sot, _ in stream]
+            assert sorted(seen) == sorted(set(seen))
+            router.close()
+        finally:
+            stop_local_cluster(servers, transports)
+
+    def test_work_actually_splits_across_shards(self, config):
+        """Scatter must be real: with 2 shards each serves a strict subset
+        of the SOTs (the ring never degenerates to one owner)."""
+        servers, transports, video = make_local_cluster(config, shards=2)
+        try:
+            router = ClusterRouter([t.address for t in transports], config=config)
+            router.scan(video.name, LABELS)
+            placements = {
+                shard
+                for (name, _), shard in router._placement.items()
+                if name == video.name
+            }
+            assert len(placements) == 2
+            router.close()
+        finally:
+            stop_local_cluster(servers, transports)
+
+    def test_placement_is_sticky_across_scans(self, config):
+        """Cache-aware routing: the second scan re-routes every SOT to the
+        shard whose cache its first scan warmed."""
+        servers, transports, video = make_local_cluster(config, shards=2)
+        try:
+            router = ClusterRouter(
+                [t.address for t in transports], config=replicated(config)
+            )
+            router.scan(video.name, LABELS)
+            first = dict(router._placement)
+            assert first, "the scan must have recorded placements"
+            router.scan(video.name, LABELS)
+            assert dict(router._placement) == first
+            router.close()
+        finally:
+            stop_local_cluster(servers, transports)
+
+    def test_less_loaded_replica_wins_without_stickiness(self, config):
+        """Among untried replicas the metrics-snapshot queue depth breaks
+        the tie: a backed-up shard loses the placement."""
+        servers, transports, video = make_local_cluster(config, shards=2)
+        try:
+            router = ClusterRouter(
+                [t.address for t in transports], config=replicated(config)
+            )
+            loaded = router._shard_name(transports[0].address)
+            idle = router._shard_name(transports[1].address)
+            router._load = {loaded: 7.0, idle: 0.0}
+            router._load_read_at = float("inf")  # pin the injected figures
+            for sot in range(4):
+                assert router._choose_replica(video.name, sot, set()) == idle
+            # Stickiness outranks load once a shard has served the key.
+            router._note_served(video.name, 0, loaded)
+            assert router._choose_replica(video.name, 0, set()) == loaded
+            router.close()
+        finally:
+            stop_local_cluster(servers, transports)
+
+    def test_video_info_cached_and_answered_by_any_live_shard(self, config):
+        servers, transports, video = make_local_cluster(config, shards=2)
+        try:
+            router = ClusterRouter([t.address for t in transports], config=config)
+            info = router.video_info(video.name)
+            assert info["sot_count"] == servers[0].tasm.video(video.name).sot_count
+            assert router.video_info(video.name) is info  # cached
+            router.close()
+        finally:
+            stop_local_cluster(servers, transports)
+
+
+class TestClusterFailover:
+    def test_server_busy_routes_around_the_shard_without_marking_it_down(
+        self, config
+    ):
+        """Shard 0 is wedged — its lone runner parked on a gated decoder,
+        every pipeline stage full — so its share of the scatter is refused
+        SERVER_BUSY and re-scatters to shard 1: the merged result is
+        unchanged and shard 0 is still considered healthy (busy != dead)."""
+        servers, transports, video = make_local_cluster(
+            config,
+            shards=2,
+            overrides_by_shard={
+                0: {"service_runners": 1, "service_max_queue_depth": 1}
+            },
+        )
+        gate = threading.Event()
+        calls, original = gate_decoder(servers[0].tasm, gate, hold_call=1)
+        filler = RemoteTasmClient(transports[0].address, timeout=30.0, use_shm=False)
+        fillers = []
+        try:
+            # Fill shard 0's whole pipeline (running batch, handoff queue,
+            # pending queue) until the server itself starts refusing
+            # (SERVER_BUSY arrives as an error on the submitted stream, so
+            # watch the scheduler's shed counter, not the submit call); the
+            # gated runner guarantees nothing drains back out.
+            scheduler = servers[0]._scheduler
+
+            def server_full():
+                fillers.append(filler.scan_streaming(video.name, "car"))
+                return scheduler.queries_shed >= 2 and scheduler.queue_depth >= 1
+
+            assert wait_until(server_full, timeout=15.0)
+            router = ClusterRouter(
+                [t.address for t in transports], config=replicated(config)
+            )
+            with RemoteTasmClient(
+                transports[1].address, timeout=30.0, use_shm=False
+            ) as direct:
+                assert_scan_results_identical(
+                    router.scan(video.name, "sign"), direct.scan(video.name, "sign")
+                )
+            assert not router._down, "busy is overload, not death"
+            assert router.probe(router._shard_name(transports[0].address))
+            router.close()
+        finally:
+            gate.set()
+            for stream in fillers:
+                try:
+                    stream.result()
+                except ServiceError:
+                    pass
+            servers[0].tasm._decoder.prefetch_regions = original
+            filler.close()
+            stop_local_cluster(servers, transports)
+
+    def test_dead_shard_at_submit_time_fails_over(self, config):
+        servers, transports, video = make_local_cluster(config, shards=2)
+        try:
+            router = ClusterRouter(
+                [t.address for t in transports], config=replicated(config)
+            )
+            with RemoteTasmClient(
+                transports[1].address, timeout=30.0, use_shm=False
+            ) as direct:
+                reference = direct.scan(video.name, LABELS)
+            transports[0].stop()
+            servers[0].stop()
+            assert_scan_results_identical(router.scan(video.name, LABELS), reference)
+            router.close()
+        finally:
+            stop_local_cluster(servers[1:], transports[1:])
+
+    def test_no_live_replica_surfaces_the_failure(self, config):
+        servers, transports, video = make_local_cluster(config, shards=1)
+        router = ClusterRouter([t.address for t in transports], config=config)
+        router.video_info(video.name)  # prime the cache while alive
+        stop_local_cluster(servers, transports)
+        with pytest.raises(ServiceError):
+            router.scan(video.name, "car")
+        router.close()
+
+
+# ----------------------------------------------------------------------
+# Real shard processes: the chaos suite
+# ----------------------------------------------------------------------
+CLUSTER_DATASET = SceneDataset(names=("cluster-traffic",), frame_count=30)
+#: A longer scene (12 SOTs) so a SIGKILL lands while replicas still owe
+#: most of their share — the mid-scan failover window.
+CHAOS_DATASET = SceneDataset(names=("chaos-traffic",), frame_count=60)
+
+
+def cluster_config(config):
+    return config.with_updates(
+        decode_cache_bytes=64 * 1024 * 1024,
+        cluster_replication_factor=2,
+    )
+
+
+class TestShardProcesses:
+    def test_kill_one_shard_mid_scan_merged_result_byte_identical(self, config):
+        """SIGKILL a shard after the scan's first chunk: the router
+        re-scatters its undelivered SOTs to replicas and the merged result
+        is byte-identical to a healthy single-server run."""
+        with ClusterSupervisor(
+            cluster_config(config), shards=3, dataset=CHAOS_DATASET
+        ) as supervisor:
+            router = ClusterRouter(
+                supervisor.addresses, config=cluster_config(config), timeout=60.0
+            )
+            name = CHAOS_DATASET.names[0]
+            with RemoteTasmClient(
+                supervisor.addresses[0], timeout=60.0, use_shm=False
+            ) as direct:
+                healthy = direct.scan(name, LABELS)
+            stream = router.scan_streaming(name, LABELS)
+            iterator = iter(stream)
+            next(iterator)  # the scan is live: at least one chunk arrived
+            # Kill the shard that still owes the most undelivered SOTs.
+            owing: dict[str, int] = {}
+            for sub in stream._pending.values():
+                owing[sub.shard] = owing.get(sub.shard, 0) + len(
+                    set(sub.assigned) - sub.delivered
+                )
+            victim = max(owing, key=lambda shard: owing[shard])
+            victim_index = [
+                router._shard_name(address) for address in supervisor.addresses
+            ].index(victim)
+            supervisor.kill(victim_index)
+            assert not supervisor.alive()[victim_index]
+            for _ in iterator:
+                pass
+            assert_scan_results_identical(stream.result(), healthy)
+            assert stream.failovers >= 1
+            assert router.health()[victim] is False
+            router.close()
+
+    def test_seeded_transport_storm_on_one_shard_stays_byte_identical(
+        self, config
+    ):
+        """A deterministic FaultPlan drop storm confined to shard 0 (its
+        writer kills the connection after the second frame): whether the
+        shard client reconnects underneath (RetryPolicy) or the router fails
+        the whole shard over, the merged bytes never change."""
+        specs = [FaultSpec(FAULT_TRANSPORT_DROP, skip_first=2, max_fires=1)]
+        for retry in (None, RETRY):
+            with ClusterSupervisor(
+                cluster_config(config),
+                shards=2,
+                dataset=CLUSTER_DATASET,
+                fault_specs_by_shard={0: specs},
+                fault_seed=21,
+            ) as supervisor:
+                name = CLUSTER_DATASET.names[0]
+                with RemoteTasmClient(
+                    supervisor.addresses[1], timeout=30.0, use_shm=False
+                ) as direct:
+                    healthy = direct.scan(name, LABELS)
+                router = ClusterRouter(
+                    supervisor.addresses,
+                    config=cluster_config(config),
+                    timeout=30.0,
+                    retry=retry,
+                )
+                assert_scan_results_identical(router.scan(name, LABELS), healthy)
+                router.close()
+
+    def test_join_then_scan_still_identical(self, config):
+        """A shard joining an existing cluster re-homes ~1/N of the keys
+        (all toward the joiner); results stay byte-identical through the
+        topology change."""
+        with ClusterSupervisor(
+            cluster_config(config), shards=3, dataset=CLUSTER_DATASET
+        ) as supervisor:
+            name = CLUSTER_DATASET.names[0]
+            router = ClusterRouter(
+                supervisor.addresses[:2], config=cluster_config(config), timeout=30.0
+            )
+            before = router.scan(name, LABELS)
+            info = router.video_info(name)
+            owners_before = {
+                sot: router._ring.node_for(sot_key(name, sot))
+                for sot in range(info["sot_count"])
+            }
+            joiner = router.add_shard(supervisor.addresses[2])
+            owners_after = {
+                sot: router._ring.node_for(sot_key(name, sot))
+                for sot in range(info["sot_count"])
+            }
+            moved = [
+                sot for sot in owners_before if owners_before[sot] != owners_after[sot]
+            ]
+            assert all(owners_after[sot] == joiner for sot in moved)
+            assert_scan_results_identical(router.scan(name, LABELS), before)
+            router.close()
+
+    def test_probe_shard_is_the_hello_handshake(self, config):
+        with ClusterSupervisor(
+            cluster_config(config), shards=1, dataset=CLUSTER_DATASET
+        ) as supervisor:
+            assert probe_shard(supervisor.addresses[0])
+            address = supervisor.addresses[0]
+        # Supervisor stopped: the same probe now fails.
+        assert not probe_shard(address, timeout=1.0)
+
+    def test_metrics_rollup_sums_counters_across_shards(self, config):
+        with ClusterSupervisor(
+            cluster_config(config), shards=2, dataset=CLUSTER_DATASET
+        ) as supervisor:
+            router = ClusterRouter(
+                supervisor.addresses, config=cluster_config(config), timeout=30.0
+            )
+            router.scan(CLUSTER_DATASET.names[0], LABELS)
+            rolled = router.metrics()
+            assert set(rolled["shards"]) == set(router.shards)
+            per_shard = [
+                sum(
+                    float(entry.get("value", 0.0))
+                    for entry in snapshot["tasm_queries_submitted_total"]["values"]
+                )
+                for snapshot in rolled["shards"].values()
+            ]
+            # Both shards served their share of the scatter...
+            assert all(total >= 1.0 for total in per_shard)
+            # ...and the rollup is their sum, while per-shard detail survives.
+            assert rolled["cluster"]["tasm_queries_submitted_total"] == sum(per_shard)
+            router.close()

@@ -39,7 +39,10 @@ import threading
 import time
 import warnings
 
+import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.query import Query
 from repro.errors import (
@@ -788,8 +791,14 @@ class TestChaos:
                 total_retries <= fires[FAULT_TRANSPORT_DROP] + fires[FAULT_TRANSPORT_CUT]
             )
             # Client-visible outcomes never exceed what the scheduler counted
-            # (a lost error reply may be retried into a different outcome).
-            assert outcomes["deadline"] <= scheduler.queries_deadline_exceeded
+            # (a lost error reply may be retried into a different outcome) —
+            # plus the deadlines the clients fast-failed during a reconnect
+            # gap, which by design never reach the server.
+            fast_fails = client_a.deadline_fast_fails + client_b.deadline_fast_fails
+            assert (
+                outcomes["deadline"]
+                <= scheduler.queries_deadline_exceeded + fast_fails
+            )
             assert outcomes["busy"] <= scheduler.queries_shed
             assert outcomes["quarantined"] <= scheduler.queries_quarantined
         finally:
@@ -797,3 +806,172 @@ class TestChaos:
             client_b.close()
             transport.stop()
             server.stop()
+
+
+# ----------------------------------------------------------------------
+# Reconnect resume edge cases (the recovery paths cluster failover leans on)
+# ----------------------------------------------------------------------
+class TestReconnectResume:
+    def capture_sends(self, client):
+        """Record every frame the client puts on the wire (resumes included:
+        the reader's resume sweep goes through the same ``_send``)."""
+        sent: list[dict] = []
+        original = client._send
+
+        def instrumented(message):
+            sent.append(dict(message))
+            return original(message)
+
+        client._send = instrumented
+        return sent
+
+    def test_resume_rebases_deadline_and_unions_skip_sots(self, config):
+        """The resume after a reconnect must inherit the *remaining* deadline
+        budget (not restart the full one) and must union the delivered SOTs
+        with the skip list the scan was submitted with — overwriting would
+        make a resumed scatter-gather shard re-serve SOTs other shards own."""
+        # Writer frames: hello reply (1), chunk SOT0 (2); SOT2 is skipped at
+        # submission, so the drop fires on chunk SOT1 — delivered == {0}.
+        plan = FaultPlan(
+            [FaultSpec(FAULT_TRANSPORT_DROP, skip_first=2, max_fires=1)], seed=13
+        )
+        server, video = make_server(config, fault_plan=plan)
+        reference, _ = make_tasm(config)
+        transport = SocketTransport(server).start()
+        try:
+            with RemoteTasmClient(
+                transport.address, timeout=30.0, use_shm=False, retry=RETRY
+            ) as client:
+                sent = self.capture_sends(client)
+                stream = client.scan_streaming(
+                    video.name, "car", deadline_ms=60000.0, skip_sots=[2]
+                )
+                result = stream.result()
+                assert client.retries_total == 1
+                scans = [m for m in sent if m.get("op") == "scan"]
+                assert len(scans) == 2, "one submission, one resume"
+                assert scans[0]["deadline_ms"] == 60000.0
+                assert scans[0]["skip_sots"] == [2]
+                resume = scans[1]
+                assert 0.0 < resume["deadline_ms"] < 60000.0
+                assert resume["skip_sots"] == [0, 2]
+                assert server._scheduler.scan_resumes >= 1
+                # The spliced result covers exactly SOT0+SOT1 (frames 0..9),
+                # byte-identical to an uninterrupted run minus the skip.
+                expected = [
+                    region
+                    for region in reference.scan(video.name, "car").regions
+                    if region.frame_index < 10
+                ]
+                assert len(result.regions) == len(expected)
+                for got, want in zip(result.regions, expected):
+                    assert got.frame_index == want.frame_index
+                    assert got.region == want.region
+                    np.testing.assert_array_equal(got.pixels, want.pixels)
+        finally:
+            transport.stop()
+            server.stop()
+
+    def test_deadline_exhausted_during_reconnect_fast_fails(self, config):
+        """When the backoff outlives the deadline the client fails the
+        stream itself with DEADLINE_EXCEEDED and never resubmits — the old
+        behaviour shipped the full original deadline to the new server,
+        making a 400 ms promise silently worth 400 ms per reconnect."""
+        plan = FaultPlan(
+            [FaultSpec(FAULT_TRANSPORT_DROP, skip_first=2, max_fires=1)], seed=13
+        )
+        server, video = make_server(config, fault_plan=plan)
+        transport = SocketTransport(server).start()
+        client = RemoteTasmClient(
+            transport.address,
+            timeout=10.0,
+            use_shm=False,
+            # First re-dial waits >= 1 s — past any 400 ms budget.
+            retry=RetryPolicy(
+                attempts=2, base_delay=1.0, max_delay=1.0, jitter=0.1, seed=5
+            ),
+        )
+        try:
+            sent = self.capture_sends(client)
+            stream = client.scan_streaming(video.name, "car", deadline_ms=400.0)
+            with pytest.raises(DeadlineExceeded):
+                stream.result()
+            assert wait_until(lambda: client.retries_total == 1)
+            assert client.deadline_fast_fails == 1
+            assert len([m for m in sent if m.get("op") == "scan"]) == 1
+            assert server._queries_submitted == 1, "no orphan resubmission"
+        finally:
+            client.close()
+            transport.stop()
+            server.stop()
+
+    def test_stream_closed_during_the_gap_is_not_resubmitted(self, config):
+        """A consumer that closes its stream while the wire is down (its
+        CANCEL swallowed by the dead socket) must not have the scan
+        resurrected by the resume sweep — the old behaviour made the new
+        server decode for nobody, holding a pump and cache space."""
+        plan = FaultPlan(
+            [FaultSpec(FAULT_TRANSPORT_DROP, skip_first=2, max_fires=1)], seed=13
+        )
+        server, video = make_server(config, fault_plan=plan)
+        reference, _ = make_tasm(config)
+        transport = SocketTransport(server).start()
+        client = RemoteTasmClient(
+            transport.address,
+            timeout=10.0,
+            use_shm=False,
+            # A wide backoff window so the close lands mid-gap.
+            retry=RetryPolicy(
+                attempts=4, base_delay=0.3, max_delay=0.5, jitter=0.1, seed=7
+            ),
+        )
+        try:
+            sent = self.capture_sends(client)
+            stream = client.scan_streaming(video.name, "car")
+            assert wait_until(lambda: not client._wire_ok.is_set())
+            stream.close()  # the consumer walks away during the outage
+            assert wait_until(lambda: client.retries_total == 1)
+            assert len([m for m in sent if m.get("op") == "scan"]) == 1
+            assert server._queries_submitted == 1, "closed scan stayed dead"
+            # The healed connection is fully usable for new work.
+            assert_scan_results_identical(
+                client.scan(video.name, "person"),
+                reference.scan(video.name, "person"),
+            )
+        finally:
+            client.close()
+            transport.stop()
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# The percentile estimator, against a sorted-sample oracle
+# ----------------------------------------------------------------------
+PERCENTILE_BOUNDS = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0]
+
+
+class TestPercentileProperty:
+    @given(
+        samples=st.lists(
+            st.sampled_from(PERCENTILE_BOUNDS + [2.0]), min_size=1, max_size=200
+        ),
+        twentieths=st.integers(min_value=0, max_value=20),
+    )
+    def test_matches_sorted_sample_oracle(self, samples, twentieths):
+        """For samples lying exactly on bucket bounds the estimator must
+        equal the nearest-rank percentile of the sorted samples (computed in
+        exact integer arithmetic — the oracle has no floating-point rank).
+        Quantiles are multiples of 1/20, which is where float noise bites:
+        ``0.15 * 20 == 3.0000000000000004``, and ``quantile=0`` must clamp to
+        rank 1 rather than match an empty leading bucket."""
+        count = len(samples)
+        buckets = [
+            (bound, sum(1 for value in samples if value <= bound))
+            for bound in PERCENTILE_BOUNDS
+        ]
+        buckets.append(("+Inf", count))
+        quantile = twentieths / 20
+        rank = max(1, -((-twentieths * count) // 20))  # exact ceil
+        oracle = sorted(samples)[rank - 1]
+        expected = float("inf") if oracle > PERCENTILE_BOUNDS[-1] else oracle
+        assert percentile_from_buckets(buckets, count, quantile) == expected
